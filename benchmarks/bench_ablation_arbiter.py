@@ -1,0 +1,93 @@
+"""E-AB2 — ablation: arbitration policy and VC organisation.
+
+The paper's scheme = per-priority VCs + preemptive priority arbitration.
+This ablation swaps each ingredient on the same workload:
+
+* preemptive priority (paper) vs FCFS vs round-robin arbitration;
+* per-priority VCs vs a single VC per port (classical wormhole);
+* Li & Mutka's request-downward VC allocation;
+* VC buffer depth 1 vs 2 vs 4.
+
+The metric is the mean/max latency of the top and bottom priority classes —
+the paper's point being that only preemptive priority gives the top class
+load-independent latency."""
+
+import numpy as np
+
+from benchmarks.common import write_output
+from repro.sim import (
+    FCFSArbiter,
+    PaperWorkload,
+    PriorityPreemptiveArbiter,
+    RoundRobinArbiter,
+    WormholeSimulator,
+)
+from repro.topology import Mesh2D, XYRouting
+
+SIM_TIME = 15_000
+WARMUP = 1_500
+
+
+def run_config(mesh, routing, streams, *, arbiter, vc_mode="per_priority",
+               vc_capacity=2):
+    sim = WormholeSimulator(
+        mesh, routing, streams, arbiter=arbiter, vc_mode=vc_mode,
+        vc_capacity=vc_capacity, warmup=WARMUP,
+    )
+    stats = sim.simulate_streams(SIM_TIME)
+    pooled = stats.priority_stats()
+    top, bottom = max(pooled), min(pooled)
+    return (
+        pooled[top].mean, pooled[top].maximum,
+        pooled[bottom].mean, pooled[bottom].maximum,
+    )
+
+
+def test_ablation_arbiter(benchmark):
+    mesh = Mesh2D(10, 10)
+    routing = XYRouting(mesh)
+    wl = PaperWorkload(num_streams=20, priority_levels=4, seed=0,
+                       period_range=(200, 500))
+    streams = wl.generate(mesh)
+
+    configs = [
+        ("preemptive-prio (paper)", dict(arbiter=PriorityPreemptiveArbiter())),
+        ("FCFS", dict(arbiter=FCFSArbiter())),
+        ("round-robin", dict(arbiter=RoundRobinArbiter())),
+        ("classical single-VC", dict(arbiter=PriorityPreemptiveArbiter(),
+                                     vc_mode="single")),
+        ("Li request-downward", dict(arbiter=PriorityPreemptiveArbiter(),
+                                     vc_mode="li")),
+        ("Song kill+retransmit", dict(arbiter=PriorityPreemptiveArbiter(),
+                                      vc_mode="preempt_kill")),
+        ("paper, VC depth 1", dict(arbiter=PriorityPreemptiveArbiter(),
+                                   vc_capacity=1)),
+        ("paper, VC depth 4", dict(arbiter=PriorityPreemptiveArbiter(),
+                                   vc_capacity=4)),
+    ]
+
+    def run_all():
+        return {
+            name: run_config(mesh, routing, streams, **kw)
+            for name, kw in configs
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation E-AB2 — arbitration / VC organisation "
+        "(20 streams, 4 levels)",
+        f"{'config':<24} {'top mean':>9} {'top max':>8} "
+        f"{'bottom mean':>12} {'bottom max':>11}",
+    ]
+    for name, (tm, tx, bm, bx) in results.items():
+        lines.append(f"{name:<24} {tm:9.1f} {tx:8d} {bm:12.1f} {bx:11d}")
+    lines.append(
+        "expected shape: the paper's config minimises the top class's max "
+        "latency; priority-oblivious and non-preemptive configs inflate it."
+    )
+    write_output("ablation_arbiter", "\n".join(lines))
+
+    paper_top_max = results["preemptive-prio (paper)"][1]
+    assert paper_top_max <= results["FCFS"][1]
+    assert paper_top_max <= results["classical single-VC"][1]

@@ -1,0 +1,60 @@
+"""E-F3 — paper Fig. 3: HP-set construction example.
+
+Fig. 3 shows four streams (A at priority 1; B and C at priority 2 and
+mutually influential; D at priority 3 overlapping B and C only) and derives
+HP_A = {B direct, C direct, D indirect via (B, C)}. We rebuild the figure's
+geometry on the 10x10 mesh and print the constructed HP sets.
+"""
+
+from benchmarks.common import write_output
+from repro.core.hpset import build_all_hp_sets
+from repro.core.render import render_hp_set
+from repro.core.streams import MessageStream, StreamSet
+from repro.topology import Mesh2D, XYRouting
+
+
+def fig3_streams(mesh):
+    """Geometric realisation of Fig. 3 under X-Y routing.
+
+    All four streams travel east along row y=0, staggered so that the
+    directed-channel overlaps are exactly the figure's: A overlaps B and C;
+    B and C overlap each other and D; D never touches A's segment.
+    """
+    return StreamSet([
+        # A: priority 1, channels (0..3)->(1..4).
+        MessageStream(0, mesh.node_xy(0, 0), mesh.node_xy(4, 0),
+                      priority=1, period=100, length=4, deadline=100),
+        # B: priority 2, channels (3..5)->(4..6): overlaps A and D.
+        MessageStream(1, mesh.node_xy(3, 0), mesh.node_xy(6, 0),
+                      priority=2, period=40, length=3, deadline=100),
+        # C: priority 2, channels (2..5)->(3..6): overlaps A, B and D.
+        MessageStream(2, mesh.node_xy(2, 0), mesh.node_xy(6, 0),
+                      priority=2, period=45, length=3, deadline=100),
+        # D: priority 3, channels (5..7)->(6..8): overlaps B and C only.
+        MessageStream(3, mesh.node_xy(5, 0), mesh.node_xy(8, 0),
+                      priority=3, period=50, length=3, deadline=100),
+    ])
+
+
+def test_fig3_hp_sets(benchmark):
+    mesh = Mesh2D(10, 10)
+    routing = XYRouting(mesh)
+    streams = fig3_streams(mesh)
+
+    hps = benchmark.pedantic(
+        lambda: build_all_hp_sets(streams, routing), rounds=1, iterations=1
+    )
+
+    names = {0: "A", 1: "B", 2: "C", 3: "D"}
+    lines = ["Fig. 3 — HP-set construction (A=M0, B=M1, C=M2, D=M3)"]
+    for sid in sorted(hps):
+        lines.append(f"{names[sid]}: {render_hp_set(hps[sid])}")
+    write_output("fig3_hpset", "\n".join(lines))
+
+    # The figure's statements:
+    assert len(hps[3]) == 0                       # D cannot be blocked
+    assert hps[1].ids() == (2, 3)                 # B: C (mutual) + D
+    assert hps[2].ids() == (1, 3)                 # C: B (mutual) + D
+    assert hps[0].direct_ids() == (1, 2)          # A: B, C direct
+    assert hps[0].indirect_ids() == (3,)          # A: D indirect
+    assert hps[0][3].intermediates == frozenset({1, 2})

@@ -1,0 +1,75 @@
+"""E-F4 / E-F6 — paper Figs. 4 and 6: delay-upper-bound calculation.
+
+Fig. 4: three directly blocking streams M1 (T=10, C=2), M2 (T=15, C=3),
+M3 (T=13, C=4) above a stream of network latency 6 — the paper reads
+U = 26 off the timing diagram.
+
+Fig. 6: the same streams with M1 and M2 re-marked INDIRECT (intermediates
+M2 and M3 respectively); releasing the unforwardable instances reduces the
+bound to U = 22.
+"""
+
+import pytest
+
+from benchmarks.common import write_output
+from repro.core.hpset import HPEntry, HPSet
+from repro.core.modify import modify_diagram
+from repro.core.render import render_diagram
+from repro.core.streams import MessageStream, StreamSet
+from repro.core.timing_diagram import generate_init_diagram
+
+
+def ms(i, priority, period, length):
+    return MessageStream(i, 0, 1, priority=priority, period=period,
+                         length=length, deadline=period)
+
+
+ROWS = (ms(1, 3, 10, 2), ms(2, 2, 15, 3), ms(3, 1, 13, 4))
+LATENCY = 6
+
+
+def test_fig4_direct_blocking(benchmark):
+    diagram = benchmark.pedantic(
+        lambda: generate_init_diagram(4, ROWS, dtime=30),
+        rounds=1,
+        iterations=1,
+    )
+    u = diagram.upper_bound(LATENCY)
+    text = (
+        "Fig. 4 — U calculation, direct blocking "
+        f"(M1 T=10 C=2, M2 T=15 C=3, M3 T=13 C=4, L=6)\n"
+        + render_diagram(diagram, upper_bound=u)
+        + f"\npaper: U = 26; measured: U = {u}"
+    )
+    write_output("fig4_ucalc_direct", text)
+    assert u == 26
+
+
+def test_fig6_indirect_blocking(benchmark):
+    owner = ms(4, priority=0, period=100, length=LATENCY)
+    streams = StreamSet([*ROWS, owner])
+    hp = HPSet(4, [
+        HPEntry.indirect(1, [2]),
+        HPEntry.indirect(2, [3]),
+        HPEntry.direct(3),
+    ])
+    blockers = {4: (3,), 3: (2,), 2: (1,), 1: ()}
+
+    diagram, removed = benchmark.pedantic(
+        lambda: modify_diagram(owner, hp, streams, blockers, 30),
+        rounds=1,
+        iterations=1,
+    )
+    u = diagram.upper_bound(LATENCY)
+    text = (
+        "Fig. 6 — U calculation, indirect blocking "
+        "(M1 indirect via M2; M2 indirect via M3)\n"
+        + render_diagram(diagram, upper_bound=u)
+        + f"\nremoved instances: "
+        + ", ".join(f"M{k}: {sorted(v)}" for k, v in sorted(removed.items()))
+        + f"\npaper: U = 22 (M1's 2nd and 3rd instances removed); "
+        f"measured: U = {u}"
+    )
+    write_output("fig6_ucalc_indirect", text)
+    assert u == 22
+    assert {1, 2}.issubset(removed[1])

@@ -1,0 +1,49 @@
+"""E-F5 — paper Fig. 5: the blocking dependency graph of the Fig. 6 setup.
+
+Fig. 5 draws the chain M4 -> M3 -> M2 -> M1 (each stream blocked by the
+next). We rebuild it from the HP set and the direct-blocking relation and
+verify the BFS layers Modify_Diagram walks."""
+
+from benchmarks.common import write_output
+from repro.core.bdg import bfs_layers, build_bdg, indirect_processing_order
+from repro.core.hpset import HPEntry, HPSet
+from repro.core.render import render_bdg
+from repro.core.streams import MessageStream, StreamSet
+
+
+def ms(i, priority, period, length):
+    return MessageStream(i, 0, 1, priority=priority, period=period,
+                         length=length, deadline=period)
+
+
+def test_fig5_bdg(benchmark):
+    streams = StreamSet([
+        ms(1, 3, 10, 2), ms(2, 2, 15, 3), ms(3, 1, 13, 4),
+        ms(4, 0, 100, 6),
+    ])
+    hp = HPSet(4, [
+        HPEntry.indirect(1, [2]),
+        HPEntry.indirect(2, [3]),
+        HPEntry.direct(3),
+    ])
+    blockers = {4: (3,), 3: (2,), 2: (1,), 1: ()}
+
+    g = benchmark.pedantic(
+        lambda: build_bdg(hp, blockers), rounds=1, iterations=1
+    )
+
+    text = (
+        "Fig. 5 — blocking dependency graph (chain M4 -> M3 -> M2 -> M1)\n"
+        + render_bdg(g, 4)
+        + "\nModify_Diagram processing order (nearest chains first): "
+        + " then ".join(
+            f"M{i}" for i in indirect_processing_order(hp, blockers, streams)
+        )
+    )
+    write_output("fig5_bdg", text)
+
+    assert list(g.edges) == [(2, 1), (3, 2), (4, 3)] or set(g.edges) == {
+        (4, 3), (3, 2), (2, 1)
+    }
+    assert bfs_layers(g, 4) == [(4,), (3,), (2,), (1,)]
+    assert indirect_processing_order(hp, blockers, streams) == (2, 1)

@@ -1,0 +1,54 @@
+"""E-RULE — section 5's empirical rule: at least |M|/4 priority levels are
+needed before the highest-priority level's ratio exceeds 0.9.
+
+The paper states the rule from "simulation results including [those] not
+presented here"; this benchmark regenerates the underlying sweep — the
+top-priority ratio as a function of the number of priority levels — at
+|M| = 20, and reports where the 0.9 threshold is crossed.
+"""
+
+import numpy as np
+
+from benchmarks.common import N_SEEDS, SIM_TIME, WARMUP, write_output
+from repro.analysis import format_rule_sweep, priority_rule_sweep
+
+
+LEVELS = (1, 2, 3, 4, 5, 6, 8, 10)
+
+
+def test_priority_level_rule(benchmark):
+    def sweep_all_seeds():
+        return [
+            priority_rule_sweep(
+                num_streams=20, levels=LEVELS, seed=seed,
+                sim_time=SIM_TIME, warmup=WARMUP,
+            )
+            for seed in range(N_SEEDS)
+        ]
+
+    sweeps = benchmark.pedantic(sweep_all_seeds, rounds=1, iterations=1)
+
+    parts = [format_rule_sweep(s) for s in sweeps]
+    tops = {
+        lv: float(np.mean([s[lv].highest_priority_ratio() for s in sweeps]))
+        for lv in LEVELS
+    }
+    lines = [f"seed-averaged top-priority ratio vs levels (|M| = 20, "
+             f"{N_SEEDS} seed(s)):"]
+    crossed = None
+    for lv in LEVELS:
+        lines.append(f"  {lv:3d} levels: {tops[lv]:.3f}")
+        if crossed is None and tops[lv] > 0.9:
+            crossed = lv
+    lines.append(
+        f"0.9 first crossed at {crossed} levels; paper's rule predicts "
+        f"~|M|/4 = 5"
+    )
+    parts.append("\n".join(lines))
+    write_output("priority_rule", "\n\n".join(parts))
+
+    # Shape assertions: the trend is upward and the top of the sweep is
+    # far tighter than one level.
+    assert tops[max(LEVELS)] > tops[1]
+    assert crossed is not None
+    assert crossed <= 10

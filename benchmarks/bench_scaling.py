@@ -1,0 +1,64 @@
+"""E-SCALE — cost of the analysis and the simulator as |M| grows.
+
+The paper runs its analysis on a host processor at job-admission time, so
+its cost matters. This benchmark measures (a) the feasibility analysis and
+(b) a 10000-flit-time simulation at |M| in {10, 20, 40, 60} on the 10x10
+mesh, using pytest-benchmark's timer for the |M| = 60 analysis case and
+manual timing for the sweep table."""
+
+import time
+
+import numpy as np
+
+from benchmarks.common import write_output
+from repro.core.feasibility import FeasibilityAnalyzer
+from repro.sim import PaperWorkload, WormholeSimulator
+from repro.topology import Mesh2D, XYRouting
+
+MAX_HORIZON = 1 << 16
+
+
+def test_scaling(benchmark):
+    mesh = Mesh2D(10, 10)
+    routing = XYRouting(mesh)
+
+    rows = []
+    for m in (10, 20, 40, 60):
+        wl = PaperWorkload(num_streams=m, priority_levels=max(1, m // 4),
+                           seed=0)
+        streams = wl.generate(mesh)
+
+        t0 = time.perf_counter()
+        an = FeasibilityAnalyzer(streams, routing)
+        bounds = an.all_upper_bounds(max_horizon=MAX_HORIZON)
+        t_analysis = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        sim = WormholeSimulator(mesh, routing, streams, warmup=1_000)
+        stats = sim.simulate_streams(10_000)
+        t_sim = time.perf_counter() - t0
+
+        rows.append((m, t_analysis, t_sim, sim.total_transfers))
+
+    # The benchmarked unit: the full |M|=60 analysis.
+    wl60 = PaperWorkload(num_streams=60, priority_levels=15, seed=0)
+    streams60 = wl60.generate(mesh)
+    benchmark.pedantic(
+        lambda: FeasibilityAnalyzer(streams60, routing).all_upper_bounds(
+            max_horizon=MAX_HORIZON
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    lines = [
+        "E-SCALE — analysis & simulation cost vs |M| (10x10 mesh)",
+        f"{'|M|':>5} {'analysis (s)':>13} {'sim 10k ft (s)':>15} "
+        f"{'flit transfers':>15}",
+    ]
+    for m, ta, ts, transfers in rows:
+        lines.append(f"{m:5d} {ta:13.3f} {ts:15.3f} {transfers:15d}")
+    write_output("scaling", "\n".join(lines))
+
+    # The analysis must stay interactive at the paper's largest scale.
+    assert rows[-1][1] < 30.0

@@ -1,0 +1,71 @@
+"""E-SENS — sensitivity sweeps over the workload knobs the paper fixed.
+
+Four response curves of the bound's tightness (actual/U ratio):
+
+* vs the number of streams (levels at the |M|/4 rule) — expect slow decay;
+* vs message size — longer worms, looser bounds;
+* vs load (period scale, smaller = heavier) — heavy load saturates;
+* vs mesh size at constant |M| — more room, fewer overlaps, tighter.
+"""
+
+from benchmarks.common import write_output
+from repro.analysis.sensitivity import (
+    format_sweep,
+    sweep_mesh_size,
+    sweep_message_length,
+    sweep_num_streams,
+    sweep_period_scale,
+)
+
+SIM_TIME = 12_000
+SEEDS = (0, 1)
+
+
+def test_sensitivity_sweeps(benchmark):
+    def run():
+        return {
+            "num_streams": sweep_num_streams(
+                (10, 20, 30, 40), seeds=SEEDS, sim_time=SIM_TIME
+            ),
+            "length": sweep_message_length(
+                (0.5, 1.0, 2.0, 3.0), seeds=SEEDS, sim_time=SIM_TIME
+            ),
+            "period": sweep_period_scale(
+                (0.25, 0.5, 1.0, 2.0), seeds=SEEDS, sim_time=SIM_TIME
+            ),
+            "mesh": sweep_mesh_size(
+                (5, 7, 10, 14), seeds=SEEDS, sim_time=SIM_TIME
+            ),
+        }
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    parts = [
+        format_sweep("E-SENS/a — ratio vs |M| (levels = |M|/4)",
+                     sweeps["num_streams"]),
+        format_sweep("E-SENS/b — ratio vs message-length scale "
+                     "(C ~ U[10,40] x scale)", sweeps["length"]),
+        format_sweep("E-SENS/c — ratio vs period scale "
+                     "(T ~ U[400,900] x scale; smaller = heavier load)",
+                     sweeps["period"]),
+        format_sweep("E-SENS/d — ratio vs mesh width (|M| = 20)",
+                     sweeps["mesh"]),
+    ]
+    parts.append(
+        "finding: at the paper's traffic density the tightness is "
+        "dominated by the interference scope (mean |HP|, driven by |M|, "
+        "the level count and the mesh size); message-length and period "
+        "scaling barely move the ratio because both U and the measured "
+        "delay scale together."
+    )
+    write_output("sensitivity", "\n\n".join(parts))
+
+    # Directional shape checks (loose: two seeds of noise).
+    mesh = sweeps["mesh"]
+    assert mesh[-1].mean_hp_size <= mesh[0].mean_hp_size  # dilution
+    num = sweeps["num_streams"]
+    assert num[-1].mean_hp_size >= num[0].mean_hp_size    # crowding
+    for sweep in sweeps.values():
+        for p in sweep:
+            assert 0.0 <= p.mean_ratio <= 1.0
+            assert 0.0 <= p.top_ratio <= 1.0

@@ -1,0 +1,78 @@
+"""E-SOUND — the reproduction's central empirical claim, at scale.
+
+Runs a soundness campaign (random workloads -> bounds -> critical-instant
+and random-phase simulation -> violation report) across three workload
+regimes: the paper's constants, a high-interference regime, and a
+many-levels regime. The expected outcome is zero violations everywhere;
+any violation would be a counterexample to the paper's method as
+implemented here and is reported with its seed for replay.
+"""
+
+from benchmarks.common import write_output
+from repro.analysis import run_soundness_campaign
+
+REGIMES = [
+    ("paper constants", dict(num_streams=12, priority_levels=3,
+                             period_range=(400, 900),
+                             length_range=(10, 40))),
+    ("high interference", dict(num_streams=15, priority_levels=3,
+                               period_range=(100, 250),
+                               length_range=(8, 20))),
+    ("many levels", dict(num_streams=16, priority_levels=16,
+                         period_range=(200, 500),
+                         length_range=(10, 40))),
+]
+
+
+def test_soundness_campaigns(benchmark):
+    def run():
+        out = {}
+        for margin in (0, 1):
+            for name, kw in REGIMES:
+                out[(name, f"margin={margin}")] = run_soundness_campaign(
+                    workloads=5, sim_time=8_000, seed0=0,
+                    residency_margin=margin, **kw
+                )
+        # F-6 exhibit: the paper's literal per-slot release, corrected for
+        # F-4, still violates in the high-interference regime.
+        out[("high interference", "margin=1, slot-granular release")] = (
+            run_soundness_campaign(
+                workloads=5, sim_time=8_000, seed0=0,
+                residency_margin=1, modify_granularity="slot",
+                **dict(REGIMES)["high interference"],
+            )
+        )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["E-SOUND — soundness campaigns (observed max delay vs U)"]
+    for (name, variant), r in results.items():
+        lines.append(f"[{name} | {variant}] {r.summary()}")
+    lines.append(
+        "finding F-4: the paper's analysis (margin 0) charges an "
+        "equal-priority interfering instance exactly C channel slots, but "
+        "equal-priority worms share one VC per port and each holds a VC "
+        "one slot past its channel occupancy (tail drain). Every observed "
+        "violation is exactly +1 slot; residency_margin=1 removes all of "
+        "them."
+    )
+    lines.append(
+        "finding F-6: the paper's literal per-slot Modify_Diagram prose "
+        "over-releases — erasing part of an instance's demand pretends "
+        "flits disappear that in reality transmit later — producing "
+        "double-digit violations; the worked example's per-instance "
+        "semantics (our default) is clean."
+    )
+    write_output("soundness", "\n".join(lines))
+
+    for (name, variant), r in results.items():
+        if "slot" in variant:
+            continue  # the F-6 exhibit is allowed (expected) to violate
+        if variant == "margin=1":
+            # The residency-corrected analysis must be clean everywhere.
+            assert r.sound, f"{name} {variant}: {r.summary()}"
+        else:
+            # The paper's analysis may show the documented +1-slot
+            # equal-priority violations, and nothing worse.
+            assert all(v.excess <= 1 for v in r.violations), r.summary()

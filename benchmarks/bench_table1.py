@@ -1,0 +1,28 @@
+"""E-T1 — paper Table 1: 1 priority level, 20 message streams.
+
+Paper's observation: with a single priority level the computed bound is
+loose — the ratio (actual average delay / U) stays below ~0.5. The shape to
+verify is that the single-level ratio is well below the multi-level ratios
+of Tables 3-5.
+"""
+
+from benchmarks.common import (
+    run_table_seeds,
+    soundness_report,
+    summarize_seeds,
+    write_output,
+)
+
+
+def test_table1(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_table_seeds("table1", num_streams=20, priority_levels=1),
+        rounds=1,
+        iterations=1,
+    )
+    text = summarize_seeds("table1", results)
+    text += "\n" + soundness_report(results)
+    write_output("table1", text)
+    for r in results:
+        assert set(r.rows) == {1}
+        assert 0.0 < r.rows[1].mean <= 1.0

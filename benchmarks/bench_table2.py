@@ -1,0 +1,35 @@
+"""E-T2 — paper Table 2: 1 priority level, 60 message streams.
+
+Paper's observation: "If more message streams are generated, the ratio is
+extremely exacerbated" — with 60 same-priority streams the bound becomes an
+order of magnitude looser than with 20 (Table 1)."""
+
+from benchmarks.common import (
+    run_table_seeds,
+    soundness_report,
+    summarize_seeds,
+    write_output,
+)
+
+
+def test_table2(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_table_seeds("table2", num_streams=60, priority_levels=1),
+        rounds=1,
+        iterations=1,
+    )
+    text = summarize_seeds("table2", results)
+    text += "\n" + soundness_report(results)
+
+    # Shape check vs Table 1: 60 streams must be markedly worse than 20.
+    from benchmarks.common import run_table_seeds as rts
+
+    t1 = rts("table1_ref", num_streams=20, priority_levels=1, seeds=[0])
+    ratio60 = sum(r.rows[1].mean for r in results) / len(results)
+    ratio20 = t1[0].rows[1].mean
+    text += (
+        f"\nshape: mean ratio with 60 streams = {ratio60:.3f} "
+        f"vs 20 streams = {ratio20:.3f} (paper: 60-stream case is far worse)"
+    )
+    write_output("table2", text)
+    assert ratio60 < ratio20

@@ -1,0 +1,33 @@
+"""E-T3 — paper Table 3: 4 priority levels, 20 message streams.
+
+Paper's observation: allowing several priority levels tightens the bound,
+especially for the high-priority classes."""
+
+from benchmarks.common import (
+    run_table_seeds,
+    soundness_report,
+    summarize_seeds,
+    write_output,
+)
+
+
+def test_table3(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_table_seeds("table3", num_streams=20, priority_levels=4),
+        rounds=1,
+        iterations=1,
+    )
+    text = summarize_seeds("table3", results)
+    text += "\n" + soundness_report(results)
+
+    # Shape: seed-averaged top-level ratio beats the 1-level Table 1 ratio.
+    from benchmarks.common import run_table_seeds as rts
+
+    t1 = rts("table1_ref", num_streams=20, priority_levels=1, seeds=[0])
+    top4 = sum(r.highest_priority_ratio() for r in results) / len(results)
+    text += (
+        f"\nshape: top-priority ratio with 4 levels = {top4:.3f} vs "
+        f"1 level = {t1[0].rows[1].mean:.3f}"
+    )
+    write_output("table3", text)
+    assert top4 > t1[0].rows[1].mean

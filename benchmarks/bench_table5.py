@@ -1,0 +1,38 @@
+"""E-T5 — paper Table 5: 15 priority levels, 60 message streams.
+
+Paper's observation: at |M| = 60, fifteen levels (= |M|/4) restore tight
+bounds at the top of the priority range, and ratios degrade monotonically
+(in trend) towards the lower levels."""
+
+import numpy as np
+
+from benchmarks.common import (
+    run_table_seeds,
+    soundness_report,
+    summarize_seeds,
+    write_output,
+)
+
+
+def test_table5(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_table_seeds("table5", num_streams=60, priority_levels=15),
+        rounds=1,
+        iterations=1,
+    )
+    text = summarize_seeds("table5", results)
+    text += "\n" + soundness_report(results)
+
+    # Shape: the upper third of the priority range must out-ratio the
+    # lower third (trend across seeds).
+    upper, lower = [], []
+    for r in results:
+        for p, stats in r.rows.items():
+            (upper if p > 10 else lower if p <= 5 else []).append(stats.mean)
+    up, lo = float(np.mean(upper)), float(np.mean(lower))
+    text += (
+        f"\nshape: mean ratio of levels 11-15 = {up:.3f} vs "
+        f"levels 1-5 = {lo:.3f} (paper: high levels far tighter)"
+    )
+    write_output("table5", text)
+    assert up > lo

@@ -1,0 +1,122 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints the
+paper-style rendering and persists it under ``benchmarks/output/`` so the
+artifacts survive the pytest run. ``pytest-benchmark`` measures the wall
+time of the interesting computation (the analysis, or the full
+analysis+simulation pipeline) via ``benchmark.pedantic`` with a single
+round — these are experiments, not micro-benchmarks, and a single
+deterministic run is the meaningful unit.
+
+Environment knobs:
+
+``REPRO_BENCH_SEEDS``
+    Number of workload seeds averaged per table (default 3).
+``REPRO_BENCH_SIM_TIME``
+    Simulated flit times per run (default 30000, the paper's horizon).
+``REPRO_BENCH_PROCS``
+    Worker processes for multi-seed runs (default 1 = serial; seeds are
+    independent, so results are identical at any setting).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.analysis import (
+    TableResult,
+    format_table,
+    map_seeds,
+    run_table_experiment,
+)
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+N_SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "3"))
+SIM_TIME = int(os.environ.get("REPRO_BENCH_SIM_TIME", "30000"))
+N_PROCS = int(os.environ.get("REPRO_BENCH_PROCS", "1"))
+WARMUP = 2_000
+
+
+def write_output(name: str, text: str) -> None:
+    """Persist a rendered artifact and echo it to stdout."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+def _one_table_seed(
+    seed: int, *, name: str, num_streams: int, priority_levels: int
+) -> TableResult:
+    """Module-level worker for :func:`run_table_seeds` (picklable)."""
+    return run_table_experiment(
+        name=f"{name}_seed{seed}",
+        num_streams=num_streams,
+        priority_levels=priority_levels,
+        seed=seed,
+        sim_time=SIM_TIME,
+        warmup=WARMUP,
+    )
+
+
+def run_table_seeds(
+    name: str, num_streams: int, priority_levels: int,
+    seeds: Iterable[int] = None,
+) -> List[TableResult]:
+    """Run one table configuration over several workload seeds (seeds run
+    in parallel when ``REPRO_BENCH_PROCS > 1``; results are identical)."""
+    if seeds is None:
+        seeds = range(N_SEEDS)
+    worker = functools.partial(
+        _one_table_seed,
+        name=name,
+        num_streams=num_streams,
+        priority_levels=priority_levels,
+    )
+    return map_seeds(worker, list(seeds), processes=N_PROCS)
+
+
+def summarize_seeds(name: str, results: List[TableResult]) -> str:
+    """Render per-seed tables plus the seed-averaged ratio per level."""
+    parts = [format_table(r) for r in results]
+    pooled: Dict[int, List[float]] = {}
+    for r in results:
+        for p, stats in r.rows.items():
+            pooled.setdefault(p, []).append(stats.mean)
+    lines = [f"{name}: seed-averaged ratio per priority level "
+             f"({len(results)} seed(s))"]
+    for p in sorted(pooled, reverse=True):
+        vals = np.asarray(pooled[p])
+        lines.append(
+            f"  P{p:>3}: mean ratio {vals.mean():.3f} "
+            f"(seed spread {vals.min():.3f}..{vals.max():.3f})"
+        )
+    parts.append("\n".join(lines))
+    return "\n\n".join(parts)
+
+
+def soundness_report(results: List[TableResult]) -> str:
+    """Check max observed delay <= U for every stream of every run."""
+    total = 0
+    violations = []
+    for r in results:
+        for sid in r.stats.stream_ids():
+            u = r.upper_bounds[sid]
+            if u <= 0:
+                continue
+            total += 1
+            mx = r.stats.max_delay(sid)
+            if mx > u:
+                violations.append((r.name, sid, mx, u))
+    if violations:
+        lines = [f"BOUND VIOLATIONS ({len(violations)}/{total} streams):"]
+        lines += [f"  {n} stream {s}: observed {m} > U={u}"
+                  for n, s, m, u in violations]
+        return "\n".join(lines)
+    return f"soundness: max observed delay <= U for all {total} stream-runs"

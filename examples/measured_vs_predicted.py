@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Measured channel occupancy next to the analytical timing diagram.
+
+The analysis predicts M4's worst case in the paper's §4.4 example with a
+timing diagram (Fig. 9, U_4 = 33). Here we *measure* the corresponding
+channel occupancy: all five streams released at the critical instant, a
+Gantt recorder on the channels of M4's route, cycles 1..50. The measured
+chart shows the same actors (M0's preemptions, M2/M3 burst, M4 threading
+the gaps) with real pipelining, and M4's measured delay sits under the
+predicted bound.
+
+Run:  python examples/measured_vs_predicted.py
+"""
+
+from repro import (
+    FeasibilityAnalyzer,
+    HPEntry,
+    HPSet,
+    Mesh2D,
+    MessageStream,
+    StreamSet,
+    XYRouting,
+    render_diagram,
+)
+from repro.sim import GanttRecorder, WormholeSimulator, render_gantt
+
+EXAMPLE = [
+    ((7, 3), (7, 7), 5, 15, 4, 15, 7),
+    ((1, 1), (5, 4), 4, 10, 2, 10, 8),
+    ((2, 1), (7, 5), 3, 40, 4, 40, 12),
+    ((4, 1), (8, 5), 2, 45, 9, 45, 16),
+    ((6, 1), (9, 3), 1, 50, 6, 50, 10),
+]
+
+
+def main() -> None:
+    mesh = Mesh2D(10, 10)
+    routing = XYRouting(mesh)
+    streams = StreamSet()
+    for i, (s, r, p, t, c, d, latency) in enumerate(EXAMPLE):
+        streams.add(MessageStream(
+            i, mesh.node_xy(*s), mesh.node_xy(*r), priority=p, period=t,
+            length=c, deadline=d, latency=latency,
+        ))
+
+    paper_hp = {
+        3: HPSet(3, [HPEntry.direct(1)]),
+        4: HPSet(4, [HPEntry.indirect(0, [2]), HPEntry.indirect(1, [2, 3]),
+                     HPEntry.direct(2), HPEntry.direct(3)]),
+    }
+    analyzer = FeasibilityAnalyzer(streams, routing, hp_override=paper_hp)
+    final, _ = analyzer.diagram_for(4)
+    print("== predicted (Fig. 9): worst-case timing diagram of M4, "
+          "U_4 = 33 ==")
+    print(render_diagram(final, upper_bound=final.upper_bound(10)))
+
+    route = routing.route_channels(streams[4].src, streams[4].dst)
+    gantt = GanttRecorder(start=1, end=50, channels=route)
+    sim = WormholeSimulator(mesh, routing, streams, gantt=gantt)
+    stats = sim.simulate_streams(60)
+
+    print("\n== measured: flit-level occupancy of M4's route, "
+          "critical-instant release ==")
+    print(render_gantt(gantt, channels=route, lo=1, hi=50,
+                       topology=mesh))
+    print(f"\nM4 measured delay: {stats.max_delay(4)} "
+          f"(predicted bound 33; with overlap-derived HP sets, 37)")
+    print("note: the prediction serialises the whole HP set onto one "
+          "abstract resource; the measurement shows the same preemptions "
+          "spread over the physical pipeline, always finishing earlier.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Priority inversion demo (the paper's Fig. 2 motivation).
+
+Classical wormhole switching has no priority handling: a physical channel
+belongs to whichever message holds it until the tail passes, and
+high-priority messages queue behind bulk traffic. The paper's remedy —
+one virtual channel per priority level plus flit-level preemptive priority
+arbitration — removes the inversion entirely.
+
+This script simulates the same four-stream contention pattern under both
+router models and prints the latency of each priority class side by side.
+
+Run:  python examples/priority_inversion.py
+"""
+
+from repro.baselines import compare_arbitration, priority_inversion_scenario
+
+
+def main() -> None:
+    mesh, routing, streams = priority_inversion_scenario()
+
+    print("contention pattern (all on one mesh row):")
+    for s in streams:
+        print(
+            f"  M{s.stream_id}: priority {s.priority}, "
+            f"{mesh.xy(s.src)} -> {mesh.xy(s.dst)}, C={s.length}, T={s.period}"
+        )
+
+    cmp = compare_arbitration(mesh, routing, streams,
+                              until=30_000, warmup=2_000)
+
+    print(f"\n{'prio':>5} {'preemptive mean/max':>22} "
+          f"{'classical mean/max':>22} {'blow-up':>9}")
+    for p in sorted(cmp.preemptive, reverse=True):
+        pre, cla = cmp.preemptive[p], cmp.classical[p]
+        print(f"P{p:>4} {pre.mean:10.1f}/{pre.maximum:<10d} "
+              f"{cla.mean:10.1f}/{cla.maximum:<10d} "
+              f"{cmp.blowup(p):8.1f}x")
+
+    top = max(cmp.preemptive)
+    top_stream = next(s for s in streams if s.priority == top)
+    no_load = routing.hop_count(top_stream.src, top_stream.dst) \
+        + top_stream.length - 1
+    print(
+        f"\nwith preemption the top-priority stream always measures its "
+        f"no-load latency ({no_load} flit times); classically it is "
+        f"{cmp.blowup(top):.1f}x slower on average — priority inversion."
+    )
+
+
+if __name__ == "__main__":
+    main()

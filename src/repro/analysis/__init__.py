@@ -1,0 +1,34 @@
+"""Evaluation harness: ratio metric, table runners and formatting."""
+
+from .experiments import (
+    PAPER_TABLES,
+    InflationResult,
+    TableResult,
+    inflate_periods,
+    priority_rule_sweep,
+    run_paper_table,
+    run_table_experiment,
+)
+from .parallel import map_seeds
+from .ratio import RatioStats, ratio_by_priority, stream_ratios
+from .tables import format_rule_sweep, format_table
+from .validation import CampaignResult, Violation, run_soundness_campaign
+
+__all__ = [
+    "RatioStats",
+    "stream_ratios",
+    "ratio_by_priority",
+    "InflationResult",
+    "inflate_periods",
+    "TableResult",
+    "run_table_experiment",
+    "PAPER_TABLES",
+    "run_paper_table",
+    "priority_rule_sweep",
+    "format_table",
+    "format_rule_sweep",
+    "CampaignResult",
+    "Violation",
+    "run_soundness_campaign",
+    "map_seeds",
+]

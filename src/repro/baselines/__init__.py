@@ -1,0 +1,26 @@
+"""Comparison baselines: classical non-preemptive wormhole switching (the
+priority-inversion demonstration of the paper's Fig. 2) and the naive
+per-link rate-monotonic utilization test the paper's related-work section
+argues against."""
+
+from .nonpreemptive import (
+    InversionComparison,
+    compare_arbitration,
+    priority_inversion_scenario,
+)
+from .rate_monotonic import (
+    LinkVerdict,
+    RMLinkAnalysis,
+    liu_layland_bound,
+    rm_link_feasibility,
+)
+
+__all__ = [
+    "InversionComparison",
+    "compare_arbitration",
+    "priority_inversion_scenario",
+    "LinkVerdict",
+    "RMLinkAnalysis",
+    "liu_layland_bound",
+    "rm_link_feasibility",
+]

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``example``
+    Run the paper's section 4.4 worked example and print the ASCII
+    renderings of Figs. 7-9 plus the bounds U = (7, 8, 26, 20, 33).
+``table {table1..table5}``
+    Regenerate one of the paper's evaluation tables end to end.
+``soundness``
+    Run a soundness campaign: random workloads, bounds, simulation, and a
+    violation report (see :mod:`repro.analysis.validation`).
+``inversion``
+    The Fig. 2 priority-inversion comparison (classical vs preemptive).
+``check FILE``
+    Feasibility-test a stream set described in a JSON file::
+
+        {
+          "mesh": {"width": 10, "height": 10},
+          "streams": [
+            {"id": 0, "src": [7, 3], "dst": [7, 7],
+             "priority": 5, "period": 150, "length": 4, "deadline": 150}
+          ]
+        }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .core.feasibility import FeasibilityAnalyzer
+from .core.streams import MessageStream, StreamSet
+from .errors import ReproError
+from .topology import Mesh2D, XYRouting
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Real-Time Communication Method for "
+            "Wormhole Switching Networks' (ICPP 1998)"
+        ),
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("example", help="run the section 4.4 worked example")
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("name", choices=[f"table{i}" for i in range(1, 6)])
+    p_table.add_argument("--seed", type=int, default=0)
+    p_table.add_argument("--sim-time", type=int, default=30_000)
+
+    p_sound = sub.add_parser("soundness", help="run a soundness campaign")
+    p_sound.add_argument("--workloads", type=int, default=10)
+    p_sound.add_argument("--streams", type=int, default=12)
+    p_sound.add_argument("--levels", type=int, default=3)
+    p_sound.add_argument("--sim-time", type=int, default=10_000)
+    p_sound.add_argument("--seed0", type=int, default=0)
+
+    sub.add_parser("inversion",
+                   help="Fig. 2 priority-inversion comparison")
+
+    p_check = sub.add_parser("check",
+                             help="feasibility-test streams from a JSON file")
+    p_check.add_argument("file", help="JSON problem description")
+    p_check.add_argument("--out", default=None,
+                         help="write the report as JSON to this path")
+
+    return parser
+
+
+def _run_example() -> int:
+    from .core.hpset import HPEntry, HPSet
+    from .core.render import render_diagram, render_hp_set
+
+    mesh = Mesh2D(10, 10)
+    routing = XYRouting(mesh)
+    spec = [
+        ((7, 3), (7, 7), 5, 15, 4, 15, 7),
+        ((1, 1), (5, 4), 4, 10, 2, 10, 8),
+        ((2, 1), (7, 5), 3, 40, 4, 40, 12),
+        ((4, 1), (8, 5), 2, 45, 9, 45, 16),
+        ((6, 1), (9, 3), 1, 50, 6, 50, 10),
+    ]
+    streams = StreamSet()
+    for i, (s, r, p, t, c, d, latency) in enumerate(spec):
+        streams.add(MessageStream(
+            i, mesh.node_xy(*s), mesh.node_xy(*r), priority=p, period=t,
+            length=c, deadline=d, latency=latency,
+        ))
+    override = {
+        3: HPSet(3, [HPEntry.direct(1)]),
+        4: HPSet(4, [HPEntry.indirect(0, [2]), HPEntry.indirect(1, [2, 3]),
+                     HPEntry.direct(2), HPEntry.direct(3)]),
+    }
+    an = FeasibilityAnalyzer(streams, routing, hp_override=override)
+    for sid in sorted(an.hp_sets):
+        print(render_hp_set(an.hp_sets[sid]))
+    final, removed = an.diagram_for(4)
+    print(render_diagram(final, upper_bound=final.upper_bound(10)))
+    report = an.determine_feasibility()
+    print(f"U = {report.upper_bounds()} "
+          f"-> {'success' if report.success else 'fail'}")
+    return 0
+
+
+def _run_table(name: str, seed: int, sim_time: int) -> int:
+    from .analysis import format_table, run_paper_table
+
+    result = run_paper_table(name, seed=seed, sim_time=sim_time)
+    print(format_table(result))
+    return 0
+
+
+def _run_soundness(args: argparse.Namespace) -> int:
+    from .analysis import run_soundness_campaign
+
+    result = run_soundness_campaign(
+        workloads=args.workloads,
+        num_streams=args.streams,
+        priority_levels=args.levels,
+        sim_time=args.sim_time,
+        seed0=args.seed0,
+    )
+    print(result.summary())
+    return 0 if result.sound else 1
+
+
+def _run_inversion() -> int:
+    from .baselines import compare_arbitration, priority_inversion_scenario
+
+    mesh, routing, streams = priority_inversion_scenario()
+    cmp = compare_arbitration(mesh, routing, streams,
+                              until=20_000, warmup=2_000)
+    for p in sorted(cmp.preemptive, reverse=True):
+        pre, cla = cmp.preemptive[p], cmp.classical[p]
+        print(f"P{p}: preemptive {pre.mean:.1f}/{pre.maximum} "
+              f"classical {cla.mean:.1f}/{cla.maximum} "
+              f"({cmp.blowup(p):.1f}x)")
+    return 0
+
+
+def _run_check(path: str, out: Optional[str] = None) -> int:
+    from .io import load_problem, report_to_spec
+
+    topology, routing, streams = load_problem(path)
+    report = FeasibilityAnalyzer(streams, routing).determine_feasibility()
+    if out:
+        import pathlib
+
+        pathlib.Path(out).write_text(
+            json.dumps(report_to_spec(report), indent=2) + "\n"
+        )
+    for sid, verdict in sorted(report.verdicts.items()):
+        mark = "ok  " if verdict.feasible else "MISS"
+        print(f"  M{sid}: U={verdict.upper_bound:>5}  "
+              f"D={verdict.stream.deadline:>5}  {mark}")
+    print("feasible" if report.success else "infeasible")
+    return 0 if report.success else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "example":
+            return _run_example()
+        if args.command == "table":
+            return _run_table(args.name, args.seed, args.sim_time)
+        if args.command == "soundness":
+            return _run_soundness(args)
+        if args.command == "inversion":
+            return _run_inversion()
+        if args.command == "check":
+            return _run_check(args.file, args.out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(  # pragma: no cover - argparse enforces choices
+        f"unhandled command {args.command!r}"
+    )

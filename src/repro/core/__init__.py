@@ -1,0 +1,88 @@
+"""The paper's primary contribution: message-stream feasibility analysis.
+
+Submodules follow the structure of the paper's section 4: stream model
+(:mod:`.streams`, :mod:`.latency`), HP sets (:mod:`.hpset`), blocking
+dependency graphs (:mod:`.bdg`), timing diagrams (:mod:`.timing_diagram`,
+:mod:`.modify`), the feasibility test itself (:mod:`.feasibility`), the
+host-processor admission-control surface (:mod:`.admission`) and figure
+rendering (:mod:`.render`).
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .assignment import (
+    audsley_assignment,
+    deadline_monotonic_assignment,
+    group_into_levels,
+    rate_monotonic_assignment,
+)
+from .bdg import bfs_layers, build_bdg, indirect_processing_order
+from .busy_window import BusyWindowResult, busy_window_bound, busy_window_bounds
+from .feasibility import FeasibilityAnalyzer, FeasibilityReport, StreamVerdict
+from .hpset import (
+    BlockingMode,
+    HPEntry,
+    HPSet,
+    build_all_hp_sets,
+    build_hp_set,
+    direct_blockers,
+    stream_channels,
+)
+from .latency import LatencyModel, NoLoadLatency, PipelinedLatency
+from .modify import modify_diagram, releasable_instances
+from .render import render_bdg, render_diagram, render_hp_set
+from .report import (
+    Contribution,
+    InterferenceReport,
+    format_interference_report,
+    interference_report,
+)
+from .streams import MessageStream, StreamSet
+from .timing_diagram import (
+    CellState,
+    InstanceAllocation,
+    TimingDiagram,
+    generate_init_diagram,
+)
+
+__all__ = [
+    "MessageStream",
+    "StreamSet",
+    "LatencyModel",
+    "NoLoadLatency",
+    "PipelinedLatency",
+    "BlockingMode",
+    "HPEntry",
+    "HPSet",
+    "stream_channels",
+    "direct_blockers",
+    "build_hp_set",
+    "build_all_hp_sets",
+    "build_bdg",
+    "bfs_layers",
+    "indirect_processing_order",
+    "CellState",
+    "InstanceAllocation",
+    "TimingDiagram",
+    "generate_init_diagram",
+    "modify_diagram",
+    "releasable_instances",
+    "FeasibilityAnalyzer",
+    "FeasibilityReport",
+    "StreamVerdict",
+    "BusyWindowResult",
+    "busy_window_bound",
+    "busy_window_bounds",
+    "AdmissionController",
+    "AdmissionDecision",
+    "render_diagram",
+    "render_hp_set",
+    "render_bdg",
+    "Contribution",
+    "InterferenceReport",
+    "interference_report",
+    "format_interference_report",
+    "rate_monotonic_assignment",
+    "deadline_monotonic_assignment",
+    "audsley_assignment",
+    "group_into_levels",
+]

@@ -1,0 +1,132 @@
+"""Host-processor admission control (the paper's Fig. 1 role).
+
+In the system model a dedicated *host processor* owns all traffic
+information, performs schedulability testing when real-time jobs arrive, and
+only downloads a job when every one of its message streams is guaranteed.
+:class:`AdmissionController` packages the feasibility analysis in that
+interactive form: streams are *requested* one at a time (or in job-sized
+batches) and a request is admitted only if the whole set — already-admitted
+streams plus the request — remains feasible.
+
+This is the natural deployment surface of the paper's algorithm and is used
+by ``examples/admission_control.py`` (experiment E-F1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError, StreamError
+from ..topology.routing import RoutingAlgorithm
+from .feasibility import FeasibilityAnalyzer, FeasibilityReport
+from .latency import LatencyModel, NoLoadLatency
+from .streams import MessageStream, StreamSet
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission request."""
+
+    admitted: bool
+    #: Feasibility report of the trial set (admitted set + request).
+    report: FeasibilityReport
+    #: Ids of the streams whose bounds broke, if rejected.
+    violations: Tuple[int, ...]
+
+
+class AdmissionController:
+    """Incremental admission control over a routed network.
+
+    Parameters
+    ----------
+    routing:
+        Deterministic routing function of the managed network.
+    latency_model:
+        No-load latency model (paper default).
+    use_modify:
+        Whether admitted-set analysis applies ``Modify_Diagram``.
+    """
+
+    def __init__(
+        self,
+        routing: RoutingAlgorithm,
+        *,
+        latency_model: Optional[LatencyModel] = None,
+        use_modify: bool = True,
+    ):
+        self.routing = routing
+        self.latency_model = latency_model or NoLoadLatency()
+        self.use_modify = use_modify
+        self._admitted = StreamSet()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def admitted(self) -> StreamSet:
+        """The currently admitted stream set (a live view; do not mutate)."""
+        return self._admitted
+
+    def fresh_id(self) -> int:
+        """Return an unused stream id for building request streams."""
+        while self._next_id in self._admitted:
+            self._next_id += 1
+        nid = self._next_id
+        self._next_id += 1
+        return nid
+
+    def _analyze(self, streams: StreamSet) -> FeasibilityReport:
+        analyzer = FeasibilityAnalyzer(
+            streams,
+            self.routing,
+            latency_model=self.latency_model,
+            use_modify=self.use_modify,
+        )
+        return analyzer.determine_feasibility()
+
+    # ------------------------------------------------------------------ #
+
+    def try_admit(
+        self, requests: MessageStream | Iterable[MessageStream]
+    ) -> AdmissionDecision:
+        """Test a request (stream or job batch) and admit it if feasible.
+
+        Rejection leaves the admitted set untouched. Admission of a new
+        stream can never be granted at the expense of an existing guarantee:
+        the trial analysis covers the *union*, so if any already-admitted
+        stream's bound breaks, the request is rejected.
+        """
+        if isinstance(requests, MessageStream):
+            requests = (requests,)
+        requests = tuple(requests)
+        if not requests:
+            raise AnalysisError("empty admission request")
+        trial = StreamSet(self._admitted)
+        for r in requests:
+            trial.add(r)
+        report = self._analyze(trial)
+        violations = report.infeasible_ids()
+        if report.success:
+            for r in requests:
+                self._admitted.add(r)
+            return AdmissionDecision(True, report, ())
+        return AdmissionDecision(False, report, violations)
+
+    def release(self, stream_ids: int | Iterable[int]) -> None:
+        """Remove streams (a finished job's traffic) from the admitted set."""
+        if isinstance(stream_ids, int):
+            stream_ids = (stream_ids,)
+        for sid in stream_ids:
+            self._admitted.remove(sid)
+
+    def current_report(self) -> FeasibilityReport:
+        """Re-run the analysis over the currently admitted set."""
+        if len(self._admitted) == 0:
+            raise AnalysisError("no admitted streams to analyse")
+        return self._analyze(self._admitted)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AdmissionController(admitted={len(self._admitted)})"

@@ -1,0 +1,112 @@
+"""Lumped busy-window bound: the analytical baseline the paper improves on.
+
+Classical fixed-priority response-time analysis (the machinery behind
+Mutka's rate-monotonic approach that the paper's related-work section
+criticises) bounds a stream's delay by iterating
+
+    U^(0)   = L_i
+    U^(n+1) = L_i + sum_k ceil(U^(n) / T_k) * C_k        over k in HP_i
+
+to a fixed point. Compared with the paper's timing-diagram method this is
+*lumped*: it (a) charges every HP element its full demand regardless of
+window confinement (an instance of a stream with period T can only occupy
+slots inside its own T-window, which the diagram respects), and (b) cannot
+release indirect interference the way ``Modify_Diagram`` does. Both effects
+make the busy-window bound never tighter than the diagram bound — a claim
+``tests/test_busy_window.py`` checks property-style and the
+``bench_baseline_bounds`` benchmark quantifies.
+
+Two interference accountings are offered:
+
+``include_indirect=True`` (default, safe)
+    every HP element counts, direct or indirect;
+``include_indirect=False`` (unsafe, for comparison)
+    only direct elements count — this mirrors naively porting processor
+    response-time analysis to a network, and the benchmark shows it can
+    *under*-estimate (unsound), reproducing the paper's argument that
+    blocking chains must not be ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Dict, Mapping, Optional
+
+from ..errors import AnalysisError
+from .hpset import HPSet
+from .streams import MessageStream, StreamSet
+
+__all__ = ["BusyWindowResult", "busy_window_bound", "busy_window_bounds"]
+
+
+@dataclass(frozen=True)
+class BusyWindowResult:
+    """Outcome of the busy-window iteration for one stream."""
+
+    stream_id: int
+    #: The fixed point, or ``-1`` when the iteration diverged past the cap.
+    bound: int
+    iterations: int
+    converged: bool
+
+
+def busy_window_bound(
+    stream: MessageStream,
+    hp: HPSet,
+    streams: StreamSet,
+    *,
+    include_indirect: bool = True,
+    max_bound: int = 1 << 22,
+    max_iterations: int = 10_000,
+) -> BusyWindowResult:
+    """Iterate the lumped interference equation for one stream.
+
+    The iteration is monotone non-decreasing from ``L_i``, so it either
+    reaches a fixed point or crosses ``max_bound`` (divergence — total HP
+    utilization at or above 1).
+    """
+    if stream.latency is None:
+        raise AnalysisError(
+            f"stream {stream.stream_id} has no latency; resolve L_i first"
+        )
+    members = [
+        streams[e.stream_id]
+        for e in hp
+        if e.stream_id != stream.stream_id
+        and (include_indirect or e.is_direct)
+    ]
+    u = stream.latency
+    for n in range(1, max_iterations + 1):
+        interference = sum(
+            ceil(u / m.period) * m.length for m in members
+        )
+        nxt = stream.latency + interference
+        if nxt == u:
+            return BusyWindowResult(stream.stream_id, u, n, True)
+        if nxt > max_bound:
+            return BusyWindowResult(stream.stream_id, -1, n, False)
+        u = nxt
+    return BusyWindowResult(  # pragma: no cover - max_iterations guard
+        stream.stream_id, -1, max_iterations, False
+    )
+
+
+def busy_window_bounds(
+    streams: StreamSet,
+    hp_sets: Mapping[int, HPSet],
+    *,
+    include_indirect: bool = True,
+    max_bound: int = 1 << 22,
+) -> Dict[int, BusyWindowResult]:
+    """Run the busy-window iteration for every stream."""
+    out: Dict[int, BusyWindowResult] = {}
+    for s in streams.sorted_by_priority():
+        hp = hp_sets.get(s.stream_id)
+        if hp is None:
+            raise AnalysisError(f"no HP set for stream {s.stream_id}")
+        out[s.stream_id] = busy_window_bound(
+            s, hp, streams,
+            include_indirect=include_indirect, max_bound=max_bound,
+        )
+    return out

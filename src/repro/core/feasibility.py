@@ -1,0 +1,375 @@
+"""Feasibility testing: ``Cal_U`` and ``Determine-Feasibility``.
+
+This is the paper's primary contribution packaged as a public API. Given a
+set of periodic real-time message streams over a wormhole network with
+flit-level preemptive priority arbitration, :class:`FeasibilityAnalyzer`
+computes for every stream a transmission-delay upper bound ``U_i`` and
+declares the set feasible iff ``U_i <= D_i`` for all streams.
+
+Pipeline per stream (section 4):
+
+1. construct ``HP_i`` (:mod:`repro.core.hpset`);
+2. build the worst-case timing diagram for the direct interpretation
+   (:mod:`repro.core.timing_diagram`);
+3. if indirect elements exist, release unforwardable interference and
+   re-compact (:mod:`repro.core.modify`);
+4. ``U_i`` = time by which the result row's free slots accumulate to the
+   no-load network latency ``L_i``.
+
+A computed ``U_i`` of ``-1`` means the bound exceeded the analysis horizon
+(the stream's deadline, by default); :meth:`FeasibilityAnalyzer.upper_bound`
+can search a larger horizon by doubling, which the evaluation harness uses
+because the paper's simulation study compares ``U`` against *measured*
+latency even when ``U`` exceeds the deadline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Set, Tuple
+
+from ..errors import AnalysisError
+from ..topology.base import Channel
+from ..topology.routing import RoutingAlgorithm
+from .hpset import HPSet, build_all_hp_sets, direct_blockers, stream_channels
+from .latency import LatencyModel, NoLoadLatency
+from .modify import modify_diagram
+from .streams import MessageStream, StreamSet
+from .timing_diagram import TimingDiagram, generate_init_diagram
+
+__all__ = ["StreamVerdict", "FeasibilityReport", "FeasibilityAnalyzer"]
+
+
+@dataclass(frozen=True)
+class StreamVerdict:
+    """Per-stream outcome of the feasibility analysis."""
+
+    stream: MessageStream
+    #: Delay upper bound; ``-1`` when it exceeded the analysis horizon.
+    upper_bound: int
+    #: Horizon the diagram was evaluated over.
+    horizon: int
+    #: ``True`` iff ``0 < upper_bound <= deadline``.
+    feasible: bool
+    #: Instances removed by ``Modify_Diagram`` (stream id -> indices).
+    removed_instances: Mapping[int, FrozenSet[int]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def slack(self) -> Optional[int]:
+        """Deadline minus bound, or ``None`` when the bound is unknown."""
+        if self.upper_bound < 0:
+            return None
+        return self.stream.deadline - self.upper_bound
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of ``Determine-Feasibility`` over a whole stream set."""
+
+    verdicts: Mapping[int, StreamVerdict]
+    success: bool
+
+    def upper_bounds(self) -> Dict[int, int]:
+        """Return ``stream_id -> U`` for every analysed stream."""
+        return {i: v.upper_bound for i, v in self.verdicts.items()}
+
+    def infeasible_ids(self) -> Tuple[int, ...]:
+        """Return the ids of streams that failed the test, ascending."""
+        return tuple(
+            sorted(i for i, v in self.verdicts.items() if not v.feasible)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        word = "success" if self.success else "fail"
+        return f"FeasibilityReport({word}, U={self.upper_bounds()})"
+
+
+class FeasibilityAnalyzer:
+    """Delay-upper-bound analysis for a stream set on a routed network.
+
+    Parameters
+    ----------
+    streams:
+        The message streams under test. Streams without an explicit
+        ``latency`` get ``L_i`` from ``latency_model`` over their route.
+    routing:
+        Deterministic routing function (e.g. :class:`~repro.topology.routing.XYRouting`
+        on the paper's mesh). May be omitted when both ``channels`` and all
+        stream latencies are supplied explicitly.
+    latency_model:
+        No-load latency model; defaults to the paper's ``L = hops + C - 1``.
+    channels:
+        Optional pre-computed channel sets per stream id (overrides routes).
+    hp_override:
+        Optional explicit HP sets (stream id -> :class:`HPSet`). Used to
+        reproduce the paper's section 4.4 example verbatim, whose printed
+        ``HP_3`` deviates from the path-overlap rule (see DESIGN.md), and
+        generally useful for what-if analysis.
+    use_modify:
+        Apply ``Modify_Diagram`` for indirect elements (paper behaviour).
+        ``False`` keeps the pessimistic direct-only diagram (E-AB1 ablation).
+    modify_fixpoint:
+        Iterate the release sweep to a fixpoint instead of the paper's
+        single BFS pass.
+    modify_granularity:
+        ``"instance"`` (default, matches the paper's worked example) or
+        ``"slot"`` (the paper's literal per-slot prose) — see
+        :mod:`repro.core.modify`. Slot granularity is never looser.
+    residency_margin:
+        Extra slots charged per instance of every *equal-priority* HP
+        member. The paper's analysis charges an interfering instance
+        exactly its ``C`` channel slots, which is correct for
+        higher-priority preemption (separate VCs) but not for
+        equal-priority contention: equal-priority messages share one VC
+        per port, and a worm owns each VC from header arrival until its
+        tail drains — one slot longer than its channel occupancy. The
+        reproduction observed exactly +1-slot bound violations from this
+        effect (EXPERIMENTS.md, finding F-4); ``residency_margin=1``
+        eliminated every observed violation. Default 0 = the paper's
+        analysis, empirically unsound by one slot under equal-priority
+        contention.
+    """
+
+    def __init__(
+        self,
+        streams: StreamSet,
+        routing: Optional[RoutingAlgorithm] = None,
+        *,
+        latency_model: Optional[LatencyModel] = None,
+        channels: Optional[Mapping[int, FrozenSet[Channel]]] = None,
+        hp_override: Optional[Mapping[int, HPSet]] = None,
+        use_modify: bool = True,
+        modify_fixpoint: bool = False,
+        modify_granularity: str = "instance",
+        residency_margin: int = 0,
+    ):
+        if residency_margin < 0:
+            raise AnalysisError(
+                f"residency_margin must be >= 0, got {residency_margin}"
+            )
+        self.residency_margin = residency_margin
+        if len(streams) == 0:
+            raise AnalysisError("cannot analyse an empty stream set")
+        if routing is None and channels is None:
+            raise AnalysisError("pass 'routing' and/or 'channels'")
+        self.routing = routing
+        self.latency_model = latency_model or NoLoadLatency()
+        self.use_modify = use_modify
+        self.modify_fixpoint = modify_fixpoint
+        self.modify_granularity = modify_granularity
+
+        if channels is None:
+            assert routing is not None
+            channels = stream_channels(streams, routing)
+        self.channels: Mapping[int, FrozenSet[Channel]] = dict(channels)
+
+        # Resolve latencies up front so every stream carries its L_i.
+        resolved = StreamSet()
+        for s in streams:
+            if s.latency is None:
+                hops = len(self.channels[s.stream_id])
+                resolved.add(s.with_latency(self.latency_model.latency(s, hops)))
+            else:
+                resolved.add(s)
+        self.streams = resolved
+
+        self.blockers = direct_blockers(self.streams, self.channels)
+        if hp_override is not None:
+            unknown = set(hp_override) - set(self.streams.ids())
+            if unknown:
+                raise AnalysisError(
+                    f"hp_override names unknown streams {sorted(unknown)}"
+                )
+            base = build_all_hp_sets(self.streams, channels=self.channels)
+            base.update(
+                {i: hp.without_self() for i, hp in hp_override.items()}
+            )
+            self.hp_sets: Dict[int, HPSet] = base
+        else:
+            self.hp_sets = build_all_hp_sets(
+                self.streams, channels=self.channels
+            )
+
+    # ------------------------------------------------------------------ #
+    # Per-stream bound (Cal_U)
+    # ------------------------------------------------------------------ #
+
+    def diagram_for(
+        self,
+        stream_id: int,
+        horizon: Optional[int] = None,
+        *,
+        apply_modify: Optional[bool] = None,
+    ) -> Tuple[TimingDiagram, Dict[int, Set[int]]]:
+        """Return the (final) timing diagram and removed instances for a stream.
+
+        ``horizon`` defaults to the stream's deadline; ``apply_modify``
+        defaults to the analyzer-wide setting.
+        """
+        stream = self.streams[stream_id]
+        dtime = int(horizon) if horizon is not None else stream.deadline
+        hp = self.hp_sets[stream_id]
+        if apply_modify is None:
+            apply_modify = self.use_modify
+        effective = self._effective_streams(stream)
+        if apply_modify and hp.indirect_ids():
+            return modify_diagram(
+                stream,
+                hp,
+                effective,
+                self.blockers,
+                dtime,
+                fixpoint=self.modify_fixpoint,
+                granularity=self.modify_granularity,
+            )
+        rows = tuple(
+            sorted(
+                (effective[e.stream_id] for e in hp
+                 if e.stream_id != stream_id),
+                key=lambda s: (-s.priority, s.stream_id),
+            )
+        )
+        return (
+            generate_init_diagram(stream_id, rows, dtime),
+            {},
+        )
+
+    def _effective_streams(self, owner: MessageStream) -> StreamSet:
+        """Return the stream set the owner's diagram is built from.
+
+        With a positive ``residency_margin``, equal-priority members have
+        their length raised by the margin — charging the extra VC-residency
+        slot(s) a same-priority worm costs beyond its channel occupancy.
+        """
+        if self.residency_margin == 0:
+            return self.streams
+        hp = self.hp_sets[owner.stream_id]
+        inflate = {
+            e.stream_id
+            for e in hp
+            if e.stream_id != owner.stream_id
+            and self.streams[e.stream_id].priority == owner.priority
+        }
+        if not inflate:
+            return self.streams
+        effective = StreamSet()
+        for s in self.streams:
+            if s.stream_id in inflate:
+                effective.add(
+                    dataclasses.replace(
+                        s, length=s.length + self.residency_margin
+                    )
+                )
+            else:
+                effective.add(s)
+        return effective
+
+    def cal_u(
+        self, stream_id: int, horizon: Optional[int] = None
+    ) -> StreamVerdict:
+        """Compute ``U`` for one stream over one horizon (the paper's
+        ``Cal_U``). Returns a verdict with ``upper_bound == -1`` when the
+        bound exceeds the horizon."""
+        stream = self.streams[stream_id]
+        dtime = int(horizon) if horizon is not None else stream.deadline
+        diagram, removed = self.diagram_for(stream_id, dtime)
+        assert stream.latency is not None
+        u = diagram.upper_bound(stream.latency)
+        return StreamVerdict(
+            stream=stream,
+            upper_bound=u,
+            horizon=dtime,
+            feasible=0 < u <= stream.deadline,
+            removed_instances={
+                k: frozenset(v) for k, v in removed.items()
+            },
+        )
+
+    def upper_bound(
+        self,
+        stream_id: int,
+        *,
+        max_horizon: int = 1 << 20,
+    ) -> int:
+        """Search for ``U`` beyond the deadline by horizon doubling.
+
+        Returns ``-1`` if no bound is found within ``max_horizon`` slots
+        (interference from the HP set saturates the path indefinitely).
+        """
+        stream = self.streams[stream_id]
+        assert stream.latency is not None
+        hp = self.hp_sets[stream_id]
+        # Instances whose window straddles the horizon are truncated, which
+        # can perturb Modify_Diagram release decisions near the boundary.
+        # Truncation effects only propagate forward in time, so a bound is
+        # horizon-independent once every window containing a slot <= U closes
+        # before the horizon: require U + max member period <= horizon.
+        guard = max(
+            (self.streams[e.stream_id].period for e in hp
+             if e.stream_id != stream_id),
+            default=0,
+        )
+        # Busy-window estimate: the interference of the HP set within t is
+        # at most sum(ceil(t/T_k) * C_k) <= t * util + sum(C_k), so
+        # t = (L + sum C) / (1 - util) slots always contain L free slots
+        # when util < 1. Starting there (plus the guard) makes the search
+        # single-shot for every non-saturated stream instead of doubling
+        # its way up from the deadline.
+        effective = self._effective_streams(stream)
+        members = [effective[e.stream_id] for e in hp
+                   if e.stream_id != stream_id]
+        util = sum(m.length / m.period for m in members)
+        total_c = sum(m.length for m in members)
+        assert stream.latency is not None
+        if util < 0.999:
+            estimate = int((stream.latency + total_c) / (1.0 - util)) + guard + 1
+        else:
+            estimate = max_horizon
+        horizon = min(
+            max(stream.deadline, stream.latency, estimate, 1), max_horizon
+        )
+        while True:
+            verdict = self.cal_u(stream_id, horizon)
+            u = verdict.upper_bound
+            if u > 0 and (u + guard <= horizon or horizon >= max_horizon):
+                return u
+            if horizon >= max_horizon:
+                return -1
+            horizon = min(horizon * 2, max_horizon)
+
+    # ------------------------------------------------------------------ #
+    # Whole-set test (Determine-Feasibility)
+    # ------------------------------------------------------------------ #
+
+    def determine_feasibility(self) -> FeasibilityReport:
+        """Run the paper's ``Determine-Feasibility`` over all streams.
+
+        Streams are processed from the highest priority level downwards
+        (the ``GList`` loop); the report is a success iff every stream's
+        bound exists within its deadline.
+        """
+        verdicts: Dict[int, StreamVerdict] = {}
+        for stream in self.streams.sorted_by_priority():
+            verdicts[stream.stream_id] = self.cal_u(stream.stream_id)
+        success = all(v.feasible for v in verdicts.values())
+        return FeasibilityReport(verdicts=verdicts, success=success)
+
+    def all_upper_bounds(
+        self, *, max_horizon: int = 1 << 20
+    ) -> Dict[int, int]:
+        """Return ``stream_id -> U`` searching past deadlines if needed."""
+        return {
+            s.stream_id: self.upper_bound(
+                s.stream_id, max_horizon=max_horizon
+            )
+            for s in self.streams.sorted_by_priority()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FeasibilityAnalyzer(n_streams={len(self.streams)}, "
+            f"use_modify={self.use_modify})"
+        )

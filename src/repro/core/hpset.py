@@ -1,0 +1,304 @@
+"""HP-set construction: which streams can delay a given stream, and how.
+
+In a preemptive, prioritised wormhole network a message is delayed only by
+messages of equal or higher priority that use part of its path (**direct
+blocking**), or by higher-priority messages that delay such messages in turn
+(**indirect blocking**, through a *blocking chain* of intermediate streams).
+Section 4.1 of the paper builds, for every stream ``M_j``, the set ``HP_j``
+of affecting streams, each entry marked ``DIRECT`` or ``INDIRECT``; indirect
+entries carry the set of intermediate streams (the ``IN`` field) appearing on
+any blocking chain.
+
+Rules implemented here (validated against the paper's Fig. 3 and the worked
+example of section 4.4 — see DESIGN.md):
+
+* ``M_k`` is a **direct** element of ``HP_j`` iff ``k != j``,
+  ``P_k >= P_j`` (equal-priority streams are "mutually influential", Fig. 3)
+  and the routes of ``M_k`` and ``M_j`` share at least one directed channel.
+* ``M_k`` is an **indirect** element of ``HP_j`` iff it is not direct and
+  there is a chain ``M_j -> r_1 -> ... -> M_k`` in the direct-blocking
+  relation (each step: the left stream is directly blocked by the right
+  one). The ``IN`` set of the entry contains every stream that lies on the
+  interior of *any* such chain.
+* The paper's ``HP_j`` also lists ``M_j`` itself (removed again on entry to
+  ``Cal_U``); we keep that behaviour behind ``include_self`` for exactness
+  but default to the cleaner self-free set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from ..errors import AnalysisError
+from ..topology.base import Channel
+from ..topology.routing import RoutingAlgorithm
+from .streams import MessageStream, StreamSet
+
+__all__ = [
+    "BlockingMode",
+    "HPEntry",
+    "HPSet",
+    "stream_channels",
+    "direct_blockers",
+    "build_hp_set",
+    "build_all_hp_sets",
+]
+
+
+class BlockingMode(Enum):
+    """How an HP-set element affects the analysed stream."""
+
+    DIRECT = "DIRECT"
+    INDIRECT = "INDIRECT"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class HPEntry:
+    """One element of an HP set: the paper's ``(M_id, Mode, IN)`` structure."""
+
+    stream_id: int
+    mode: BlockingMode
+    intermediates: FrozenSet[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.mode is BlockingMode.DIRECT and self.intermediates:
+            raise AnalysisError(
+                f"direct HP entry for stream {self.stream_id} must not carry "
+                f"intermediates {set(self.intermediates)}"
+            )
+        if self.mode is BlockingMode.INDIRECT and not self.intermediates:
+            raise AnalysisError(
+                f"indirect HP entry for stream {self.stream_id} needs at "
+                "least one intermediate stream"
+            )
+
+    @property
+    def is_direct(self) -> bool:
+        return self.mode is BlockingMode.DIRECT
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.mode is BlockingMode.INDIRECT
+
+    @classmethod
+    def direct(cls, stream_id: int) -> "HPEntry":
+        """Build a DIRECT entry."""
+        return cls(stream_id, BlockingMode.DIRECT)
+
+    @classmethod
+    def indirect(cls, stream_id: int, intermediates: Iterable[int]) -> "HPEntry":
+        """Build an INDIRECT entry with the given intermediate streams."""
+        return cls(stream_id, BlockingMode.INDIRECT, frozenset(intermediates))
+
+
+class HPSet:
+    """The HP set of one analysed stream: id-keyed, deterministic order."""
+
+    def __init__(self, owner_id: int, entries: Iterable[HPEntry] = ()):
+        self.owner_id = owner_id
+        self._entries: Dict[int, HPEntry] = {}
+        for e in entries:
+            self.add(e)
+
+    def add(self, entry: HPEntry) -> None:
+        if entry.stream_id in self._entries:
+            raise AnalysisError(
+                f"HP set of stream {self.owner_id} already contains "
+                f"stream {entry.stream_id}"
+            )
+        self._entries[entry.stream_id] = entry
+
+    def __contains__(self, stream_id: object) -> bool:
+        return stream_id in self._entries
+
+    def __getitem__(self, stream_id: int) -> HPEntry:
+        try:
+            return self._entries[stream_id]
+        except KeyError:
+            raise AnalysisError(
+                f"HP set of stream {self.owner_id} has no entry for "
+                f"stream {stream_id}"
+            ) from None
+
+    def __iter__(self):
+        return iter(sorted(self._entries.values(), key=lambda e: e.stream_id))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def ids(self) -> Tuple[int, ...]:
+        """Return member stream ids, ascending."""
+        return tuple(sorted(self._entries))
+
+    def direct_ids(self) -> Tuple[int, ...]:
+        """Return the ids of DIRECT elements, ascending."""
+        return tuple(e.stream_id for e in self if e.is_direct)
+
+    def indirect_ids(self) -> Tuple[int, ...]:
+        """Return the ids of INDIRECT elements, ascending."""
+        return tuple(e.stream_id for e in self if e.is_indirect)
+
+    def without_self(self) -> "HPSet":
+        """Return a copy with the owner's own entry removed (``Cal_U`` line 1)."""
+        return HPSet(
+            self.owner_id,
+            (e for e in self if e.stream_id != self.owner_id),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HPSet):
+            return NotImplemented
+        return (
+            self.owner_id == other.owner_id
+            and self._entries == other._entries
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        for e in self:
+            if e.is_direct:
+                parts.append(f"({e.stream_id}, DIRECT)")
+            else:
+                ins = ",".join(str(i) for i in sorted(e.intermediates))
+                parts.append(f"({e.stream_id}, INDIRECT, {{{ins}}})")
+        return f"HP_{self.owner_id} = {{{', '.join(parts)}}}"
+
+
+# ---------------------------------------------------------------------- #
+# Construction
+# ---------------------------------------------------------------------- #
+
+
+def stream_channels(
+    streams: StreamSet, routing: RoutingAlgorithm
+) -> Dict[int, FrozenSet[Channel]]:
+    """Return, per stream id, the set of directed channels its route uses."""
+    return {
+        s.stream_id: frozenset(routing.route_channels(s.src, s.dst))
+        for s in streams
+    }
+
+
+def direct_blockers(
+    streams: StreamSet,
+    channels: Mapping[int, FrozenSet[Channel]],
+) -> Dict[int, Tuple[int, ...]]:
+    """Return, per stream id, the ids that *directly* block it.
+
+    A stream is directly blocked by every distinct stream of equal or higher
+    priority whose route shares a directed channel with it.
+    """
+    out: Dict[int, Tuple[int, ...]] = {}
+    all_streams = tuple(streams)
+    for sj in all_streams:
+        cj = channels[sj.stream_id]
+        blockers = [
+            sk.stream_id
+            for sk in all_streams
+            if sk.stream_id != sj.stream_id
+            and sk.priority >= sj.priority
+            and not cj.isdisjoint(channels[sk.stream_id])
+        ]
+        out[sj.stream_id] = tuple(sorted(blockers))
+    return out
+
+
+def build_hp_set(
+    stream: MessageStream,
+    streams: StreamSet,
+    blockers: Mapping[int, Tuple[int, ...]],
+    *,
+    include_self: bool = False,
+) -> HPSet:
+    """Construct ``HP_j`` for one stream from the direct-blocking relation.
+
+    Indirect elements are found by forward traversal of the direct-blocking
+    relation starting at ``stream``; the intermediates of an indirect element
+    ``K`` are all streams reachable from ``stream`` from which ``K`` is in
+    turn reachable (i.e. the interior nodes of every blocking chain).
+    """
+    j = stream.stream_id
+    direct = set(blockers[j])
+
+    # Transitive closure of the blocked-by relation from j.
+    reachable: set[int] = set()
+    frontier = list(direct)
+    while frontier:
+        k = frontier.pop()
+        if k in reachable:
+            continue
+        reachable.add(k)
+        frontier.extend(blockers[k])
+    indirect = reachable - direct - {j}
+
+    hp = HPSet(j)
+    if include_self:
+        hp.add(HPEntry.direct(j))
+    for k in sorted(direct):
+        hp.add(HPEntry.direct(k))
+    if indirect:
+        # descendants[r] = streams reachable from r via blocked-by edges.
+        desc_cache: Dict[int, FrozenSet[int]] = {}
+
+        def descendants(r: int) -> FrozenSet[int]:
+            cached = desc_cache.get(r)
+            if cached is not None:
+                return cached
+            seen: set[int] = set()
+            stack = list(blockers[r])
+            while stack:
+                x = stack.pop()
+                if x in seen:
+                    continue
+                seen.add(x)
+                stack.extend(blockers[x])
+            out = frozenset(seen)
+            desc_cache[r] = out
+            return out
+
+        for k in sorted(indirect):
+            # Interior nodes of any blocking chain j -> ... -> k: reachable
+            # from j, and k reachable from them. Same-priority mutual
+            # blocking creates cycles, so j itself may appear in `reachable`
+            # and must be excluded explicitly.
+            ins = frozenset(
+                r for r in reachable
+                if r != k and r != j and k in descendants(r)
+            )
+            hp.add(HPEntry.indirect(k, ins))
+    return hp
+
+
+def build_all_hp_sets(
+    streams: StreamSet,
+    routing: Optional[RoutingAlgorithm] = None,
+    *,
+    channels: Optional[Mapping[int, FrozenSet[Channel]]] = None,
+    include_self: bool = False,
+) -> Dict[int, HPSet]:
+    """Construct the HP set of every stream in the set.
+
+    Exactly one of ``routing`` or ``channels`` must be given: either the
+    routes are derived from the routing function, or pre-computed channel
+    sets are supplied (useful for custom path assignments and for testing).
+    """
+    if (routing is None) == (channels is None):
+        raise AnalysisError("pass exactly one of 'routing' or 'channels'")
+    if channels is None:
+        assert routing is not None
+        channels = stream_channels(streams, routing)
+    missing = [s.stream_id for s in streams if s.stream_id not in channels]
+    if missing:
+        raise AnalysisError(f"no channel set for stream ids {missing}")
+    blockers = direct_blockers(streams, channels)
+    return {
+        s.stream_id: build_hp_set(
+            s, streams, blockers, include_self=include_self
+        )
+        for s in streams
+    }

@@ -1,0 +1,200 @@
+"""Indirect-interference release (the paper's ``Modify_Diagram``).
+
+An INDIRECT element ``K`` of ``HP_j`` shares no channel with ``M_j``; it
+delays ``M_j`` only by delaying *intermediate* streams that do. If, during
+some interval, none of ``K``'s intermediates requests the channel time that
+``K`` occupies, that occupancy cannot propagate to ``M_j`` and the paper
+releases ("frees") it: "A time slot used by an indirect element can be freed
+if all of the intermediate message streams do not request that time slot. A
+released time slot can be reused by other message streams."
+
+Concretely, a slot is *requested* by an intermediate when the intermediate's
+row is ALLOCATED or WAITING there; the release condition is that every
+intermediate's row is FREE or BUSY on the slot (the pseudocode's
+``all T_d[r][i] == FREE or BUSY``).
+
+The paper's prose is per *slot* ("a time slot used by an indirect element
+can be freed...") while its worked example only ever releases whole
+instances, leaving the split case ambiguous. Both readings are
+implemented, selected by ``granularity``:
+
+``"instance"`` (default)
+    an instance is removed only when **all** of its occupied slots
+    (allocated and waiting) are releasable. Reproduces the paper's worked
+    example exactly (instances 2 and 3 of ``M_0`` and instance 4 of
+    ``M_1`` vanish from the Fig. 9 diagram) and errs conservative when
+    the per-slot condition would split an instance.
+``"slot"``
+    the literal prose: each releasable slot is individually erased from
+    the indirect element's demand (the instance keeps its remaining
+    slots; erased demand does not shift elsewhere). Never looser than
+    instance granularity — and **demonstrably unsound**: the soundness
+    campaign found simulated delays exceeding slot-granular bounds by
+    double-digit slots (EXPERIMENTS.md, finding F-6). An instance whose
+    early slots are erased still transmits those flits in reality, just
+    later — erasing part of its demand under-counts interference. Keep
+    this mode for studying the interpretation, not for guarantees.
+
+After each removal the diagram is re-generated ("Update T_d consistently"),
+so lower-priority allocations compact into the released slots (the paper's
+"the first instance of M_3 is compacted"). Indirect elements are processed
+in BFS order over the blocking dependency graph from the analysed stream,
+matching the paper's in-degree-counted BFS walk.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, Mapping, Set, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .bdg import indirect_processing_order
+from .hpset import HPSet
+from .streams import MessageStream, StreamSet
+from .timing_diagram import TimingDiagram, generate_init_diagram, refill_rows
+
+__all__ = ["modify_diagram", "releasable_instances"]
+
+
+def releasable_instances(
+    diagram: TimingDiagram,
+    indirect_id: int,
+    intermediates: AbstractSet[int],
+) -> Tuple[int, ...]:
+    """Return indices of the indirect stream's instances that can be removed.
+
+    An instance is releasable when every slot it occupies (ALLOCATED or
+    WAITING) is requested by **no** intermediate stream.
+    """
+    if not intermediates:
+        raise AnalysisError(
+            f"indirect stream {indirect_id} has no intermediates"
+        )
+    inter_rows = [diagram.row_of(r) for r in sorted(intermediates)]
+    requested = np.zeros(diagram.dtime + 1, dtype=bool)
+    for r in inter_rows:
+        requested |= diagram.row_requests(r)
+    out = []
+    for inst in diagram.instances[indirect_id]:
+        if len(inst.alloc_arr) == 0 and len(inst.wait_arr) == 0:
+            continue
+        if (
+            not requested[inst.alloc_arr].any()
+            and not requested[inst.wait_arr].any()
+        ):
+            out.append(inst.index)
+    return tuple(out)
+
+
+def releasable_slots(
+    diagram: TimingDiagram,
+    indirect_id: int,
+    intermediates: AbstractSet[int],
+) -> np.ndarray:
+    """Return the slots of the indirect stream that can be erased.
+
+    Slot-granular variant of :func:`releasable_instances`: a slot the
+    indirect stream occupies (ALLOCATED or WAITING) is releasable when no
+    intermediate requests it.
+    """
+    if not intermediates:
+        raise AnalysisError(
+            f"indirect stream {indirect_id} has no intermediates"
+        )
+    requested = np.zeros(diagram.dtime + 1, dtype=bool)
+    for r in sorted(intermediates):
+        requested |= diagram.row_requests(diagram.row_of(r))
+    own = diagram.row_requests(diagram.row_of(indirect_id))
+    return np.flatnonzero(own & ~requested)
+
+
+def modify_diagram(
+    owner: MessageStream,
+    hp: HPSet,
+    streams: StreamSet,
+    blockers: Mapping[int, Tuple[int, ...]],
+    dtime: int,
+    *,
+    fixpoint: bool = False,
+    granularity: str = "instance",
+    max_passes: int = 16,
+) -> Tuple[TimingDiagram, Dict[int, Set[int]]]:
+    """Run ``Modify_Diagram``: release indirect interference and re-compact.
+
+    Parameters
+    ----------
+    owner:
+        The analysed stream ``M_j``.
+    hp:
+        Its HP set (without the self entry).
+    streams, blockers:
+        The global stream set and direct-blocking relation (for the BDG).
+    dtime:
+        Diagram horizon.
+    fixpoint:
+        The paper walks each indirect element once (BFS order); with
+        ``fixpoint=True`` the BFS sweep repeats until no further instance is
+        released, which can only tighten the bound further (released slots
+        may idle an intermediate that previously requested slots). Used by
+        the E-AB1 ablation benchmark.
+    granularity:
+        ``"instance"`` (default, matches the worked example) or ``"slot"``
+        (the paper's literal prose) — see the module docstring.
+    max_passes:
+        Safety cap on fixpoint sweeps.
+
+    Returns
+    -------
+    (diagram, removed):
+        The final diagram and the map ``stream_id -> released instance
+        indices`` (instance granularity) or ``stream_id -> released
+        slots`` (slot granularity).
+    """
+    if granularity not in ("instance", "slot"):
+        raise AnalysisError(
+            f"granularity must be 'instance' or 'slot', got {granularity!r}"
+        )
+    row_streams = tuple(
+        sorted(
+            (streams[e.stream_id] for e in hp if e.stream_id != owner.stream_id),
+            key=lambda s: (-s.priority, s.stream_id),
+        )
+    )
+    removed: Dict[int, Set[int]] = {}
+    diagram = generate_init_diagram(
+        owner.stream_id, row_streams, dtime, removed=removed
+    )
+    order = indirect_processing_order(hp, blockers, streams)
+    if not order:
+        return diagram, removed
+
+    passes = max_passes if fixpoint else 1
+    for _ in range(passes):
+        changed = False
+        for k in order:
+            entry = hp[k]
+            if granularity == "instance":
+                new = set(
+                    releasable_instances(diagram, k, entry.intermediates)
+                )
+            else:
+                new = set(
+                    int(t) for t in
+                    releasable_slots(diagram, k, entry.intermediates)
+                )
+            fresh = new - removed.get(k, set())
+            if fresh:
+                removed.setdefault(k, set()).update(fresh)
+                # Releasing demand of k only changes k's row and the rows
+                # below it; the prefix above is untouched.
+                if granularity == "instance":
+                    refill_rows(diagram, removed,
+                                start_row=diagram.row_of(k))
+                else:
+                    refill_rows(diagram, {}, erased_slots=removed,
+                                start_row=diagram.row_of(k))
+                changed = True
+        if not changed:
+            break
+    return diagram, removed

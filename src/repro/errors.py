@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers may catch a single base class. The more
+specific subclasses distinguish configuration mistakes (bad stream
+parameters, unknown nodes) from runtime conditions detected during analysis
+or simulation (infeasible sets, deadlocked routing functions).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "RoutingError",
+    "StreamError",
+    "AnalysisError",
+    "SimulationError",
+    "DeadlockError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid topology construction or node/channel lookups."""
+
+
+class RoutingError(ReproError):
+    """Raised when a route cannot be produced (unknown nodes, bad algorithm)."""
+
+
+class StreamError(ReproError):
+    """Raised for invalid message-stream parameters (non-positive period,
+    deadline shorter than the network latency, duplicate identifiers, ...)."""
+
+
+class AnalysisError(ReproError):
+    """Raised when the feasibility analysis is invoked with inconsistent
+    inputs (e.g. an HP-set override naming unknown streams)."""
+
+
+class SimulationError(ReproError):
+    """Raised for invalid simulator configuration or internal invariant
+    violations detected while the simulation is running."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when a routing algorithm admits a channel-dependency cycle, or
+    when the simulator detects that no flit has moved for an implausibly long
+    time even though messages are outstanding."""

@@ -1,0 +1,153 @@
+"""JSON serialisation of problems (topology + streams) and results.
+
+A *problem file* describes a network and a stream set::
+
+    {
+      "topology": {"type": "mesh", "width": 10, "height": 10},
+      "streams": [
+        {"id": 0, "src": [7, 3], "dst": [7, 7],
+         "priority": 5, "period": 150, "length": 4, "deadline": 150}
+      ]
+    }
+
+Topology types: ``mesh`` (width/height), ``torus`` (dims), ``hypercube``
+(dimension). Node references may be coordinate lists (meshes/tori:
+``[x, y, ...]``) or plain integer node ids. The legacy key ``mesh`` is
+accepted as an alias for a mesh topology (the original CLI format).
+
+Used by ``python -m repro check`` and by user scripts that want to keep
+workloads under version control next to their measured results.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Tuple, Union
+
+from .core.feasibility import FeasibilityReport
+from .core.streams import MessageStream, StreamSet
+from .errors import ReproError
+from .topology import (
+    ECubeRouting,
+    Hypercube,
+    Mesh2D,
+    RoutingAlgorithm,
+    Topology,
+    Torus,
+    TorusDimensionOrderRouting,
+    XYRouting,
+)
+
+__all__ = [
+    "topology_from_spec",
+    "load_problem",
+    "save_problem",
+    "streams_to_spec",
+    "report_to_spec",
+]
+
+
+def topology_from_spec(
+    spec: Dict[str, Any]
+) -> Tuple[Topology, RoutingAlgorithm]:
+    """Build a topology and its canonical routing from a JSON spec."""
+    kind = spec.get("type", "mesh")
+    if kind == "mesh":
+        mesh = Mesh2D(int(spec.get("width", 10)),
+                      int(spec.get("height", spec.get("width", 10))))
+        return mesh, XYRouting(mesh)
+    if kind == "torus":
+        dims = spec.get("dims")
+        if not dims:
+            raise ReproError("torus spec needs 'dims'")
+        torus = Torus(tuple(int(d) for d in dims))
+        return torus, TorusDimensionOrderRouting(torus)
+    if kind == "hypercube":
+        cube = Hypercube(int(spec.get("dimension", 4)))
+        return cube, ECubeRouting(cube)
+    raise ReproError(f"unknown topology type {kind!r}")
+
+
+def _node(topology: Topology, ref: Union[int, list]) -> int:
+    if isinstance(ref, list):
+        return topology.node_at(ref)
+    return topology.validate_node(int(ref))
+
+
+def load_problem(
+    path: Union[str, Path]
+) -> Tuple[Topology, RoutingAlgorithm, StreamSet]:
+    """Load a problem file: (topology, routing, streams)."""
+    with open(path) as f:
+        spec = json.load(f)
+    topo_spec = spec.get("topology") or spec.get("mesh")
+    if topo_spec is None:
+        raise ReproError("problem file needs a 'topology' (or 'mesh') key")
+    if "type" not in topo_spec and "width" in topo_spec:
+        topo_spec = {"type": "mesh", **topo_spec}
+    topology, routing = topology_from_spec(topo_spec)
+    if "streams" not in spec:
+        raise ReproError("problem file needs a 'streams' list")
+    streams = StreamSet()
+    for entry in spec["streams"]:
+        streams.add(MessageStream(
+            stream_id=int(entry["id"]),
+            src=_node(topology, entry["src"]),
+            dst=_node(topology, entry["dst"]),
+            priority=int(entry["priority"]),
+            period=int(entry["period"]),
+            length=int(entry["length"]),
+            deadline=int(entry["deadline"]),
+            latency=(int(entry["latency"])
+                     if entry.get("latency") is not None else None),
+        ))
+    return topology, routing, streams
+
+
+def streams_to_spec(streams: StreamSet) -> list:
+    """Serialise a stream set to the problem-file stream list."""
+    out = []
+    for s in streams:
+        entry = {
+            "id": s.stream_id,
+            "src": s.src,
+            "dst": s.dst,
+            "priority": s.priority,
+            "period": s.period,
+            "length": s.length,
+            "deadline": s.deadline,
+        }
+        if s.latency is not None:
+            entry["latency"] = s.latency
+        out.append(entry)
+    return out
+
+
+def save_problem(
+    path: Union[str, Path],
+    topology_spec: Dict[str, Any],
+    streams: StreamSet,
+) -> None:
+    """Write a problem file (topology spec passed through verbatim)."""
+    payload = {
+        "topology": topology_spec,
+        "streams": streams_to_spec(streams),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def report_to_spec(report: FeasibilityReport) -> Dict[str, Any]:
+    """Serialise a feasibility report (bounds, verdicts, success)."""
+    return {
+        "success": report.success,
+        "streams": {
+            str(sid): {
+                "upper_bound": v.upper_bound,
+                "deadline": v.stream.deadline,
+                "feasible": v.feasible,
+                "slack": v.slack,
+            }
+            for sid, v in sorted(report.verdicts.items())
+        },
+    }

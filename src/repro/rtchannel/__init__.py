@@ -1,0 +1,36 @@
+"""Store-and-forward real-time channels: the related-work substrate.
+
+The paper's introduction contrasts wormhole switching with the *real-time
+channel* line of work on packet-switched multi-hop networks (Ferrari &
+Verma's channel establishment; Kandlur, Shin & Ferrari's schedulability
+conditions; Zheng & Shin's exact conditions). This subpackage implements
+that world so the comparison the paper implies can actually be run:
+
+* :mod:`.saf_network` — an event-driven store-and-forward packet
+  simulator: a packet occupies one link at a time for its full
+  transmission time and is buffered whole at every hop (per-link
+  non-preemptive scheduling: static priority, FIFO or EDF);
+* :mod:`.schedulability` — holistic end-to-end delay bounds: classical
+  non-preemptive static-priority response-time analysis per link with
+  release-jitter propagation along the route.
+
+The headline comparison (``benchmarks/bench_rtchannel.py``): wormhole
+no-load latency is ``h + C - 1`` against store-and-forward's ``h * C`` —
+the motivation for wormhole switching — while per-link scheduling gives
+the real-time-channel world its compositional analysis.
+"""
+
+from .saf_network import SAF_SCHEDULERS, StoreAndForwardSimulator
+from .schedulability import (
+    HolisticResult,
+    LinkResponse,
+    holistic_bounds,
+)
+
+__all__ = [
+    "StoreAndForwardSimulator",
+    "SAF_SCHEDULERS",
+    "HolisticResult",
+    "LinkResponse",
+    "holistic_bounds",
+]

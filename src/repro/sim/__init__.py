@@ -1,0 +1,60 @@
+"""Cycle-accurate flit-level wormhole network simulation.
+
+The paper's evaluation substrate, rebuilt from the text: per-priority
+virtual channels, flit-level preemptive priority arbitration of physical
+channels, deterministic routing, periodic real-time traffic and warm-up
+aware latency statistics.
+"""
+
+from .arbiter import (
+    ChannelArbiter,
+    FCFSArbiter,
+    PriorityPreemptiveArbiter,
+    RoundRobinArbiter,
+)
+from .engine import SimulationKernel
+from .flit import Message
+from .gantt import GanttRecorder, render_gantt
+from .network import VC_MODES, WormholeSimulator
+from .router import INJECTION_PORT, Router, VirtualChannel
+from .snapshot import render_worm_snapshot
+from .stats import DelayStats, StatsCollector
+from .trace import MessageTrace, TraceRecorder, render_mesh_utilization
+from .traffic import (
+    PaperWorkload,
+    PatternWorkload,
+    bit_reversal_pattern,
+    hotspot_pattern,
+    random_phases,
+    transpose_pattern,
+    zero_phases,
+)
+
+__all__ = [
+    "SimulationKernel",
+    "Message",
+    "VirtualChannel",
+    "Router",
+    "INJECTION_PORT",
+    "ChannelArbiter",
+    "PriorityPreemptiveArbiter",
+    "FCFSArbiter",
+    "RoundRobinArbiter",
+    "WormholeSimulator",
+    "VC_MODES",
+    "DelayStats",
+    "StatsCollector",
+    "PaperWorkload",
+    "PatternWorkload",
+    "transpose_pattern",
+    "bit_reversal_pattern",
+    "hotspot_pattern",
+    "zero_phases",
+    "random_phases",
+    "MessageTrace",
+    "TraceRecorder",
+    "render_mesh_utilization",
+    "render_worm_snapshot",
+    "GanttRecorder",
+    "render_gantt",
+]

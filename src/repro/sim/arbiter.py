@@ -1,0 +1,123 @@
+"""Physical-channel arbitration policies.
+
+Each flit time, every directed channel with competing virtual channels picks
+one VC to forward a single flit. The policy *is* the priority-handling
+scheme of the paper:
+
+* :class:`PriorityPreemptiveArbiter` — the paper's method: the channel goes
+  to the highest-priority competing message **every flit time**, so a newly
+  arrived high-priority message steals bandwidth from a lower-priority one
+  mid-transmission (flit-level preemption via per-priority VCs; section 3).
+* :class:`FCFSArbiter` — first-come-first-served among competing VCs,
+  breaking ties by arrival order at the channel; models a priority-oblivious
+  router and is the fairness baseline.
+* :class:`RoundRobinArbiter` — rotating priority, the classic
+  starvation-free but priority-oblivious policy.
+
+Non-preemptive *classical* wormhole switching (the Fig. 2 priority-inversion
+demonstration) is not an arbiter variant but a VC-mode: with a single VC per
+input port, a channel is monopolised by the current message until its tail
+passes, regardless of arbitration policy — see
+:class:`~repro.sim.network.WormholeSimulator`'s ``vc_mode``.
+
+Arbiters see ``(vc, message)`` candidate pairs and must be deterministic:
+given the same candidate multiset they return the same winner, which keeps
+simulations reproducible bit-for-bit under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence, Tuple, TYPE_CHECKING
+
+from ..errors import SimulationError
+from ..topology.base import Channel
+from .flit import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .router import VirtualChannel
+
+__all__ = [
+    "ChannelArbiter",
+    "PriorityPreemptiveArbiter",
+    "FCFSArbiter",
+    "RoundRobinArbiter",
+]
+
+Candidate = Tuple["VirtualChannel", Message]
+
+
+class ChannelArbiter(ABC):
+    """Selects, per channel and per flit time, the VC that forwards a flit."""
+
+    @abstractmethod
+    def select(
+        self, channel: Channel, candidates: Sequence[Candidate], now: int
+    ) -> Candidate:
+        """Return the winning candidate (``candidates`` is non-empty)."""
+
+    def reset(self) -> None:
+        """Clear any per-run state (called when a simulation starts)."""
+
+
+class PriorityPreemptiveArbiter(ChannelArbiter):
+    """The paper's policy: strict priority, re-evaluated every flit time.
+
+    Ties (equal priority) are broken by stream id then message id, which is
+    deterministic and corresponds to a fixed hardware tie-break line. Note
+    that equal-priority messages can never interleave on one VC anyway — VC
+    ownership (:class:`~repro.sim.router.VirtualChannel`) serialises them —
+    so the tie-break only decides which *input port* drains first.
+    """
+
+    def select(
+        self, channel: Channel, candidates: Sequence[Candidate], now: int
+    ) -> Candidate:
+        return max(
+            candidates,
+            key=lambda c: (c[1].priority, -c[1].stream_id, -c[1].msg_id),
+        )
+
+
+class FCFSArbiter(ChannelArbiter):
+    """First-come-first-served: the candidate whose message was released
+    earliest wins (ties by stream then message id). Priority-oblivious."""
+
+    def select(
+        self, channel: Channel, candidates: Sequence[Candidate], now: int
+    ) -> Candidate:
+        return min(
+            candidates,
+            key=lambda c: (c[1].release, c[1].stream_id, c[1].msg_id),
+        )
+
+
+class RoundRobinArbiter(ChannelArbiter):
+    """Rotating-priority arbitration, per channel.
+
+    Candidates are ordered by ``(priority-VC index, stream id)`` and the
+    winner is the first candidate strictly after the previous winner in the
+    rotation; starvation-free, priority-oblivious.
+    """
+
+    def __init__(self) -> None:
+        self._last: Dict[Channel, Tuple[int, int]] = {}
+
+    def reset(self) -> None:
+        self._last.clear()
+
+    def select(
+        self, channel: Channel, candidates: Sequence[Candidate], now: int
+    ) -> Candidate:
+        ordered = sorted(
+            candidates, key=lambda c: (c[1].stream_id, c[1].msg_id)
+        )
+        last = self._last.get(channel)
+        winner = ordered[0]
+        if last is not None:
+            for c in ordered:
+                if (c[1].stream_id, c[1].msg_id) > last:
+                    winner = c
+                    break
+        self._last[channel] = (winner[1].stream_id, winner[1].msg_id)
+        return winner

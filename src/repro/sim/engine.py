@@ -1,0 +1,125 @@
+"""Cycle-driven simulation kernel.
+
+SimPy is unavailable offline, and for a model whose natural time base is the
+*flit time* (every busy channel moves exactly one flit per time unit) a
+cycle-driven kernel is both simpler and faster than a general event queue:
+the only true "events" are message releases, which the kernel keeps in a
+heap so that fully idle stretches are skipped in O(log n) instead of being
+stepped through cycle by cycle.
+
+:class:`SimulationKernel` owns the clock, the pending-release heap, the
+idle-skip logic and a progress watchdog (a wormhole network that has
+outstanding flits but commits no transfer for a long stretch is deadlocked
+or mis-modelled; X-Y routing proves the former impossible, so the watchdog
+guards the latter). Subclasses implement :meth:`_has_work` and
+:meth:`_step`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from typing import List, Optional, Tuple
+
+from ..errors import DeadlockError, SimulationError
+
+__all__ = ["SimulationKernel"]
+
+
+class SimulationKernel(ABC):
+    """Clock + release heap + watchdog; subclass provides the cycle body.
+
+    Parameters
+    ----------
+    watchdog_cycles:
+        Raise :class:`DeadlockError` when this many consecutive cycles pass
+        with outstanding work but no committed flit transfer. ``0`` disables
+        the watchdog.
+    """
+
+    def __init__(self, *, watchdog_cycles: int = 50_000):
+        if watchdog_cycles < 0:
+            raise SimulationError("watchdog_cycles must be >= 0")
+        self.now = 0
+        self.watchdog_cycles = watchdog_cycles
+        self._pending: List[Tuple[int, int, object]] = []
+        self._pending_seq = 0
+        self._stall = 0
+
+    # ------------------------------------------------------------------ #
+    # Release heap
+    # ------------------------------------------------------------------ #
+
+    def schedule(self, time: int, payload: object) -> None:
+        """Schedule a payload (message release) at absolute ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}; clock is already at {self.now}"
+            )
+        heapq.heappush(self._pending, (time, self._pending_seq, payload))
+        self._pending_seq += 1
+
+    def _pop_due(self, time: int) -> List[object]:
+        """Pop every payload scheduled at or before ``time`` (stable order)."""
+        due = []
+        while self._pending and self._pending[0][0] <= time:
+            due.append(heapq.heappop(self._pending)[2])
+        return due
+
+    def next_release(self) -> Optional[int]:
+        """Return the earliest pending release time, if any."""
+        return self._pending[0][0] if self._pending else None
+
+    # ------------------------------------------------------------------ #
+    # Cycle protocol
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def _has_work(self) -> bool:
+        """``True`` when any flit could move this cycle."""
+
+    @abstractmethod
+    def _inject(self, payloads: List[object]) -> None:
+        """Admit released payloads into the model (start of cycle)."""
+
+    @abstractmethod
+    def _step(self) -> int:
+        """Advance the model by one flit time; return transfers committed."""
+
+    def run(self, until: int) -> None:
+        """Advance the simulation up to and including cycle ``until``.
+
+        Releases scheduled at time ``t`` become eligible to move in cycle
+        ``t + 1``. Idle stretches (no buffered flits anywhere) fast-forward
+        to the next release.
+        """
+        if until < self.now:
+            raise SimulationError(
+                f"cannot run until {until}; clock is already at {self.now}"
+            )
+        while self.now < until:
+            if not self._has_work():
+                nxt = self.next_release()
+                if nxt is None:
+                    # Nothing buffered, nothing pending: jump to the end.
+                    self.now = until
+                    break
+                if nxt >= until:
+                    self.now = until
+                    break
+                # First cycle in which the release can move is nxt + 1.
+                self.now = max(self.now, nxt)
+            self.now += 1
+            self._inject(self._pop_due(self.now - 1))
+            moved = self._step()
+            if self.watchdog_cycles:
+                if moved == 0 and self._has_work():
+                    self._stall += 1
+                    if self._stall >= self.watchdog_cycles:
+                        raise DeadlockError(
+                            f"no flit moved for {self._stall} cycles at "
+                            f"t={self.now} with outstanding traffic — "
+                            "deadlock or model error"
+                        )
+                else:
+                    self._stall = 0

@@ -1,0 +1,479 @@
+"""The cycle-accurate flit-level wormhole network simulator.
+
+This is the evaluation substrate the paper used but did not publish: a
+network of routers (one per topology node) exchanging one flit per busy
+channel per flit time, with per-priority virtual channels and a pluggable
+physical-channel arbiter. The paper's priority-handling method corresponds
+to ``vc_mode="per_priority"`` + :class:`~repro.sim.arbiter.PriorityPreemptiveArbiter`
+(the default); classical wormhole switching is ``vc_mode="single"``.
+
+Model rules (one *cycle* = one flit time; see DESIGN.md section 5):
+
+1. Messages are released by periodic sources (:mod:`repro.sim.traffic`) and
+   queue at the source router's injection VC of their priority class.
+2. Every cycle, each directed channel ``(u, v)`` considers the VCs of router
+   ``u`` holding a buffered flit whose owner's next hop is ``v`` and whose
+   downstream VC at ``v`` can take a flit (free for headers, same-owner with
+   space for body flits). The arbiter picks one; that VC forwards one flit.
+3. A header flit allocates the downstream VC (per the VC mode); the tail
+   flit releases each VC it drains from. Flits of distinct messages never
+   interleave within a VC.
+4. Flits arriving at their destination router are absorbed immediately
+   (ejection is not a bottleneck); the absorption cycle of the tail flit is
+   the message finish time. A lone ``C``-flit message over ``h`` hops
+   therefore measures exactly ``h + C - 1``, the paper's network latency.
+
+Buffer capacity defaults to 2 flits per VC: the simulator checks credits
+against *pre-cycle* occupancy (no intra-cycle flow-through), so a depth of 1
+would insert a bubble every other cycle and break the paper's latency model,
+while depth 2 sustains full pipelining. This is a documented modelling
+choice, equivalent to single-flit buffers with flow-through crediting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.streams import MessageStream, StreamSet
+from ..errors import SimulationError
+from ..topology.base import Channel, Topology
+from ..topology.routing import RoutingAlgorithm
+from .arbiter import ChannelArbiter, PriorityPreemptiveArbiter
+from .engine import SimulationKernel
+from .flit import Message
+from .gantt import GanttRecorder
+from .router import INJECTION_PORT, Router, VirtualChannel
+from .stats import StatsCollector
+from .trace import TraceRecorder
+
+__all__ = ["WormholeSimulator", "VC_MODES"]
+
+#: Supported virtual-channel organisations.
+#:
+#: ``per_priority`` — the paper's scheme (one VC per priority level);
+#: ``single``       — classical wormhole switching (priority inversion);
+#: ``li``           — Li & Mutka's request-downward VC allocation;
+#: ``preempt_kill`` — an approximation of Song et al.'s hardware
+#:                    preemption with a single VC: when a higher-priority
+#:                    header finds the VC held by a lower-priority worm,
+#:                    the worm is killed (its in-flight flits discarded,
+#:                    the message retransmitted from the source with its
+#:                    original release time). High-priority arrival
+#:                    behaviour approaches the per-priority scheme at the
+#:                    cost of wasted low-priority work — the trade the
+#:                    paper's section 3 discusses.
+VC_MODES = ("per_priority", "single", "li", "preempt_kill")
+
+
+class WormholeSimulator(SimulationKernel):
+    """Flit-level wormhole network simulation over a routed topology.
+
+    Parameters
+    ----------
+    topology, routing:
+        The network substrate. Routing must be deterministic.
+    streams:
+        The message streams that will inject traffic. Priorities are ranked
+        densely to VC indices (highest priority -> highest VC index).
+    arbiter:
+        Physical-channel arbitration policy; default is the paper's
+        :class:`PriorityPreemptiveArbiter`.
+    vc_mode:
+        ``"per_priority"`` (paper), ``"single"`` (classical wormhole) or
+        ``"li"`` (Li & Mutka's request-downward VC scheme).
+    vc_capacity:
+        Flit buffer depth per network VC (default 2; see module docstring).
+    warmup:
+        Messages released before this time are simulated but excluded from
+        statistics (the paper discards a 2000-flit-time start-up).
+    watchdog_cycles:
+        Forwarded to :class:`~repro.sim.engine.SimulationKernel`.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RoutingAlgorithm,
+        streams: StreamSet,
+        *,
+        arbiter: Optional[ChannelArbiter] = None,
+        vc_mode: str = "per_priority",
+        vc_capacity: int = 2,
+        hop_delay: int = 1,
+        warmup: int = 0,
+        watchdog_cycles: int = 50_000,
+        trace: Optional["TraceRecorder"] = None,
+        gantt: Optional["GanttRecorder"] = None,
+    ):
+        super().__init__(watchdog_cycles=watchdog_cycles)
+        if vc_mode not in VC_MODES:
+            raise SimulationError(
+                f"unknown vc_mode {vc_mode!r}; expected one of {VC_MODES}"
+            )
+        if len(streams) == 0:
+            raise SimulationError("cannot simulate an empty stream set")
+        if hop_delay < 1:
+            raise SimulationError(f"hop_delay must be >= 1, got {hop_delay}")
+        self.topology = topology
+        self.routing = routing
+        self.streams = streams
+        self.vc_mode = vc_mode
+        self.vc_capacity = vc_capacity
+        #: Router pipeline depth: flit times from a flit's arrival at a
+        #: router to its earliest possible departure (1 = the paper's
+        #: unit-delay model; r gives no-load latency r*h + C - 1, matching
+        #: :class:`repro.core.latency.PipelinedLatency`).
+        self.hop_delay = hop_delay
+        self.arbiter = arbiter or PriorityPreemptiveArbiter()
+        self.arbiter.reset()
+        self.stats = StatsCollector(warmup=warmup)
+        self.trace = trace
+        self.gantt = gantt
+        #: Committed flit transfers per directed channel (for utilization).
+        self.channel_transfers: Dict[Channel, int] = {}
+
+        for s in streams:
+            topology.validate_node(s.src)
+            topology.validate_node(s.dst)
+
+        # Dense priority ranking: VC index = rank of the stream's priority,
+        # scaled by the routing function's VC-class count (torus datelines).
+        distinct = sorted({s.priority for s in streams})
+        self._prio_rank: Dict[int, int] = {p: i for i, p in enumerate(distinct)}
+        self.num_vc_classes = getattr(routing, "num_vc_classes", 1)
+        if self.num_vc_classes > 1 and vc_mode != "per_priority":
+            raise SimulationError(
+                f"routing needs {self.num_vc_classes} VC classes (dateline "
+                f"scheme); only vc_mode='per_priority' supports that"
+            )
+        if vc_mode in ("single", "preempt_kill"):
+            self.num_vcs = 1
+        else:
+            self.num_vcs = len(distinct) * self.num_vc_classes
+
+        # Routers: one input port per incoming channel + injection.
+        self._routers: Dict[int, Router] = {}
+        upstream: Dict[int, List[int]] = {n: [] for n in topology.nodes()}
+        for u, v in topology.channels():
+            upstream[v].append(u)
+        for n in topology.nodes():
+            self._routers[n] = Router(
+                n, tuple(upstream[n]), self.num_vcs, vc_capacity
+            )
+
+        #: VCs holding at least one buffered flit.
+        self._active: Set[VirtualChannel] = set()
+        #: msg_id -> per-path-position VC chain (index 0 = injection VC).
+        self._chains: Dict[int, List[Optional[VirtualChannel]]] = {}
+        self._next_msg_id = 0
+        self._in_flight: Set[int] = set()
+        #: In-flight messages by id (needed to kill and retransmit).
+        self._messages: Dict[int, Message] = {}
+        #: Victims selected this cycle under ``preempt_kill``.
+        self._kill_pending: Set[int] = set()
+        #: Messages killed and re-queued (``preempt_kill`` mode).
+        self.retransmissions = 0
+        #: Total committed flit transfers (includes absorptions).
+        self.total_transfers = 0
+
+    # ------------------------------------------------------------------ #
+    # Injection
+    # ------------------------------------------------------------------ #
+
+    def _vc_index_for(self, priority: int, vc_class: int = 0) -> int:
+        if self.num_vcs == 1:
+            return 0
+        return self._prio_rank[priority] * self.num_vc_classes + vc_class
+
+    def release_message(self, stream: MessageStream, time: int) -> Message:
+        """Schedule one message of ``stream`` for release at ``time``.
+
+        Returns the created message (its ``finish`` is filled in when the
+        simulation absorbs its tail flit).
+        """
+        path = self.routing.route(stream.src, stream.dst)
+        classes = (
+            self.routing.route_classes(stream.src, stream.dst)
+            if self.num_vc_classes > 1 else ()
+        )
+        msg = Message(
+            msg_id=self._next_msg_id,
+            stream_id=stream.stream_id,
+            priority=stream.priority,
+            src=stream.src,
+            dst=stream.dst,
+            length=stream.length,
+            release=time,
+            path=path,
+            classes=classes,
+        )
+        self._next_msg_id += 1
+        self.schedule(time, msg)
+        if self.trace is not None:
+            self.trace.on_release(time, msg)
+        return msg
+
+    def _inject(self, payloads: List[object]) -> None:
+        for msg in payloads:
+            assert isinstance(msg, Message)
+            vc = self._routers[msg.src].vc(
+                INJECTION_PORT, self._vc_index_for(msg.priority)
+            )
+            vc.enqueue_message(msg)
+            self._chains[msg.msg_id] = [None] * len(msg.path)
+            if vc.owner is msg:
+                self._chains[msg.msg_id][0] = vc
+                if self.hop_delay > 1:
+                    # Injection pipeline: the header may not leave before
+                    # release + hop_delay.
+                    vc.ready.append(msg.release + self.hop_delay)
+            self._in_flight.add(msg.msg_id)
+            self._messages[msg.msg_id] = msg
+            if vc.count > 0:
+                self._active.add(vc)
+
+    # ------------------------------------------------------------------ #
+    # Cycle body
+    # ------------------------------------------------------------------ #
+
+    def _has_work(self) -> bool:
+        return bool(self._active)
+
+    def _downstream_target(
+        self, msg: Message, position: int
+    ) -> Optional[VirtualChannel]:
+        """Return the downstream VC a flit at ``position`` would enter, or
+        ``None`` when no VC is currently available (header blocked)."""
+        v = msg.path[position + 1]
+        chain = self._chains[msg.msg_id]
+        dvc = chain[position + 1]
+        if dvc is not None:
+            return dvc if dvc.has_space() else None
+        router = self._routers[v]
+        u = msg.path[position]
+        if self.vc_mode == "li":
+            free = router.free_vc_indices(u, self._prio_rank[msg.priority])
+            if not free:
+                return None
+            return router.vc(u, free[0])
+        vc = router.vc(
+            u, self._vc_index_for(msg.priority, msg.vc_class(position))
+        )
+        if vc.free:
+            return vc
+        if (
+            self.vc_mode == "preempt_kill"
+            and vc.owner is not None
+            and vc.owner.priority < msg.priority
+        ):
+            # Song-style hardware preemption: schedule the lower-priority
+            # worm for a kill; the header retries once the VC frees.
+            self._kill_pending.add(vc.owner.msg_id)
+        return None
+
+    def _step(self) -> int:
+        # Phase 1: per-channel candidate collection (pre-cycle state only).
+        wants: Dict[Channel, List[Tuple[VirtualChannel, Message]]] = {}
+        for vc in self._active:
+            msg = vc.owner
+            if msg is None or vc.count == 0:  # pragma: no cover - defensive
+                continue
+            if not vc.head_ready(self.now):
+                continue
+            pos = vc.position
+            v = msg.path[pos + 1]
+            if v != msg.dst:
+                if self._downstream_target(msg, pos) is None:
+                    continue
+            wants.setdefault((msg.path[pos], v), []).append((vc, msg))
+
+        # Phase 2: arbitrate and commit one flit per contended channel.
+        moved = 0
+        for channel, candidates in wants.items():
+            if len(candidates) == 1:
+                vc, msg = candidates[0]
+            else:
+                vc, msg = self.arbiter.select(channel, candidates, self.now)
+            pos = vc.position
+            was_first = vc.is_injection and vc.sent == 0
+            sender = vc.pop_flit()
+            assert sender is msg
+            if self.trace is not None and was_first:
+                self.trace.on_first_flit(self.now, msg)
+            self.channel_transfers[channel] = (
+                self.channel_transfers.get(channel, 0) + 1
+            )
+            if self.gantt is not None:
+                self.gantt.on_transfer(self.now, channel, msg)
+            if vc.count == 0:
+                self._active.discard(vc)
+            elif vc.owner is not msg:
+                # Tail left and an injection queue promoted a new owner.
+                pass
+            dst_node = channel[1]
+            if dst_node == msg.dst:
+                msg.delivered += 1
+                if msg.delivered == msg.length:
+                    msg.finish = self.now
+                    self.stats.record(msg)
+                    if self.trace is not None:
+                        self.trace.on_finish(self.now, msg)
+                    self._in_flight.discard(msg.msg_id)
+                    self._messages.pop(msg.msg_id, None)
+                    del self._chains[msg.msg_id]
+            else:
+                chain = self._chains[msg.msg_id]
+                dvc = chain[pos + 1]
+                if dvc is None:
+                    dvc = self._downstream_target(msg, pos)
+                    if dvc is None:  # pragma: no cover - defensive
+                        raise SimulationError(
+                            "downstream VC vanished between phases"
+                        )
+                    dvc.allocate(msg, pos + 1)
+                    chain[pos + 1] = dvc
+                dvc.push_flit(
+                    self.now + self.hop_delay if self.hop_delay > 1 else None
+                )
+                self._active.add(dvc)
+            # An injection VC that promoted a queued message stays active;
+            # record the new owner's chain head.
+            if vc.is_injection and vc.owner is not None and vc.owner is not msg:
+                promoted = vc.owner
+                self._chains[promoted.msg_id][0] = vc
+                if self.hop_delay > 1:
+                    vc.ready.append(
+                        max(promoted.release + self.hop_delay, self.now + 1)
+                    )
+                self._active.add(vc)
+            moved += 1
+        self.total_transfers += moved
+        if self._kill_pending:
+            for victim_id in sorted(self._kill_pending):
+                self._kill_message(victim_id)
+            self._kill_pending.clear()
+        return moved
+
+    def _kill_message(self, msg_id: int) -> None:
+        """Kill an in-flight worm and re-queue it from its source.
+
+        All buffered flits are dropped, every VC the worm holds is freed,
+        and a fresh copy (same stream, same *original* release time, so the
+        measured delay includes the wasted attempt) joins the source's
+        injection queue. Partial deliveries are discarded by the receiver.
+        """
+        victim = self._messages.pop(msg_id, None)
+        if victim is None:
+            return  # finished in this very cycle
+        chain = self._chains.pop(msg_id)
+        for vc in chain:
+            if vc is None or vc.owner is not victim:
+                continue
+            vc.force_release()
+            self._active.discard(vc)
+            if vc.is_injection:
+                promoted = vc.promote_queued()
+                if promoted is not None:
+                    self._chains[promoted.msg_id][0] = vc
+                    if self.hop_delay > 1:
+                        vc.ready.append(
+                            max(promoted.release + self.hop_delay,
+                                self.now + 1)
+                        )
+                    self._active.add(vc)
+        self._in_flight.discard(msg_id)
+        self.retransmissions += 1
+
+        clone = Message(
+            msg_id=self._next_msg_id,
+            stream_id=victim.stream_id,
+            priority=victim.priority,
+            src=victim.src,
+            dst=victim.dst,
+            length=victim.length,
+            release=victim.release,
+            path=victim.path,
+            classes=victim.classes,
+        )
+        self._next_msg_id += 1
+        if self.trace is not None:
+            self.trace.on_release(victim.release, clone)
+        inj = self._routers[clone.src].vc(
+            INJECTION_PORT, self._vc_index_for(clone.priority)
+        )
+        inj.enqueue_message(clone)
+        self._chains[clone.msg_id] = [None] * len(clone.path)
+        if inj.owner is clone:
+            self._chains[clone.msg_id][0] = inj
+            if self.hop_delay > 1:
+                inj.ready.append(self.now + self.hop_delay)
+        self._in_flight.add(clone.msg_id)
+        self._messages[clone.msg_id] = clone
+        if inj.count > 0:
+            self._active.add(inj)
+
+    # ------------------------------------------------------------------ #
+    # Convenience driver
+    # ------------------------------------------------------------------ #
+
+    def simulate_streams(
+        self,
+        until: int,
+        *,
+        phases: Optional[Dict[int, int]] = None,
+        drain: bool = True,
+        drain_limit: int = 1 << 20,
+    ) -> StatsCollector:
+        """Release periodic traffic for every stream and run the clock.
+
+        Parameters
+        ----------
+        until:
+            Horizon: stream ``i`` releases messages at
+            ``phase_i, phase_i + T_i, ...`` strictly below ``until``, and
+            the network runs ``until`` cycles.
+        phases:
+            Per-stream release offsets (default 0 for all — the paper's
+            synchronous start; see :mod:`repro.sim.traffic` for randomised
+            phases).
+        drain:
+            Keep running (without new releases) until all in-flight messages
+            finish, so late releases still contribute samples.
+        drain_limit:
+            Hard cap on drain cycles (guards saturated networks).
+        """
+        phases = phases or {}
+        for s in self.streams:
+            t = phases.get(s.stream_id, 0)
+            if t < 0:
+                raise SimulationError(
+                    f"stream {s.stream_id}: negative phase {t}"
+                )
+            while t < until:
+                self.release_message(s, t)
+                t += s.period
+        self.run(until)
+        if drain:
+            deadline = until + drain_limit
+            while self._in_flight and self.now < deadline:
+                self.run(min(self.now + 1024, deadline))
+        self.stats.unfinished = len(self._in_flight)
+        return self.stats
+
+    def link_utilization(self) -> Dict[Channel, float]:
+        """Return per-channel utilization (transfers / elapsed flit times).
+
+        Only channels that carried at least one flit appear.
+        """
+        if self.now <= 0:
+            raise SimulationError("no simulated time elapsed yet")
+        return {
+            ch: n / self.now for ch, n in self.channel_transfers.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WormholeSimulator(nodes={self.topology.num_nodes}, "
+            f"streams={len(self.streams)}, vc_mode={self.vc_mode!r}, "
+            f"t={self.now})"
+        )

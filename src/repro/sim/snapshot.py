@@ -1,0 +1,65 @@
+"""Worm-state snapshots: what is in flight right now, and where.
+
+When a simulation behaves unexpectedly (a watchdog fires, a stream
+starves), the question is *where are the worms?* —
+:func:`render_worm_snapshot` prints, for each in-flight message, its
+source-queue backlog, the VCs it currently occupies (with buffered flit
+counts), and the delivery progress at the destination:
+
+    t=37, 2 worm(s) in flight
+    M5 <- stream 1 (P2) 12 flits (1,1)->(5,1): src[inj 4f] (2,1)[2f] (3,1)[1f] | delivered 5/12
+    M9 <- stream 0 (P1) 30 flits (0,1)->(6,1): src[inj 28f, queue 1 msg] | delivered 0/30
+
+Purely an observability tool; it reads the simulator's state without
+mutating it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..topology.mesh import Mesh2D
+from .network import WormholeSimulator
+
+__all__ = ["render_worm_snapshot"]
+
+
+def _node_name(sim: WormholeSimulator, node: int) -> str:
+    if isinstance(sim.topology, Mesh2D):
+        x, y = sim.topology.xy(node)
+        return f"({x},{y})"
+    return f"n{node}"
+
+
+def render_worm_snapshot(sim: WormholeSimulator) -> str:
+    """Render every in-flight message's occupancy as one line each."""
+    in_flight = sorted(sim._messages.values(), key=lambda m: m.msg_id)
+    lines = [f"t={sim.now}, {len(in_flight)} worm(s) in flight"]
+    if not in_flight:
+        return "\n".join(lines)
+    for msg in in_flight:
+        chain = sim._chains.get(msg.msg_id)
+        segments: List[str] = []
+        if chain is not None:
+            for vc in chain:
+                if vc is None or vc.owner is not msg:
+                    continue
+                if vc.is_injection:
+                    extra = (
+                        f", queue {len(vc.queue)} msg" if vc.queue else ""
+                    )
+                    segments.append(f"src[inj {vc.count}f{extra}]")
+                elif vc.count > 0:
+                    segments.append(
+                        f"{_node_name(sim, vc.node)}[{vc.count}f]"
+                    )
+                else:
+                    segments.append(f"{_node_name(sim, vc.node)}[-]")
+        occupancy = " ".join(segments) if segments else "(between VCs)"
+        lines.append(
+            f"M{msg.msg_id} <- stream {msg.stream_id} (P{msg.priority}) "
+            f"{msg.length} flits "
+            f"{_node_name(sim, msg.src)}->{_node_name(sim, msg.dst)}: "
+            f"{occupancy} | delivered {msg.delivered}/{msg.length}"
+        )
+    return "\n".join(lines)

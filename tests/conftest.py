@@ -1,0 +1,81 @@
+"""Shared fixtures: the paper's section 4.4 worked example and common
+topology objects.
+
+The example constants were reconstructed from the OCR-damaged paper text by
+requiring the printed network latencies (``L = hops + C - 1`` under X-Y
+routing) and the final bounds ``U = (7, 8, 26, 20, 33)`` to match exactly —
+see DESIGN.md. ``PAPER_HP_OVERRIDE`` injects the HP sets exactly as printed
+in the paper (its ``HP_3`` omits ``M_2`` despite a path overlap — a
+documented inconsistency in the original).
+"""
+
+import pytest
+
+from repro.core.hpset import HPEntry, HPSet
+from repro.core.streams import MessageStream, StreamSet
+from repro.topology import Mesh2D, XYRouting
+
+#: (src_xy, dst_xy, P, T, C, D, L) for M0..M4 of section 4.4.
+PAPER_EXAMPLE = [
+    ((7, 3), (7, 7), 5, 15, 4, 15, 7),
+    ((1, 1), (5, 4), 4, 10, 2, 10, 8),
+    ((2, 1), (7, 5), 3, 40, 4, 40, 12),
+    ((4, 1), (8, 5), 2, 45, 9, 45, 16),
+    ((6, 1), (9, 3), 1, 50, 6, 50, 10),
+]
+
+#: Final bounds the paper reports for the example.
+PAPER_EXAMPLE_U = {0: 7, 1: 8, 2: 26, 3: 20, 4: 33}
+
+
+@pytest.fixture(scope="session")
+def mesh10():
+    return Mesh2D(10, 10)
+
+
+@pytest.fixture(scope="session")
+def xy10(mesh10):
+    return XYRouting(mesh10)
+
+
+@pytest.fixture()
+def paper_streams(mesh10):
+    """The five streams of the paper's section 4.4 example."""
+    streams = StreamSet()
+    for i, (s, r, p, t, c, d, latency) in enumerate(PAPER_EXAMPLE):
+        streams.add(
+            MessageStream(
+                stream_id=i,
+                src=mesh10.node_xy(*s),
+                dst=mesh10.node_xy(*r),
+                priority=p,
+                period=t,
+                length=c,
+                deadline=d,
+                latency=latency,
+            )
+        )
+    return streams
+
+
+@pytest.fixture()
+def paper_hp_override():
+    """The HP sets exactly as printed in the paper (section 4.4).
+
+    Differs from the path-overlap rule in two places, both traced to the
+    same printed-coordinate inconsistency (M2's route overlaps M3's):
+    ``HP_3`` omits ``M_2``, and ``HP_4``'s indirect entry for ``M_0`` has
+    intermediates ``(2)`` rather than ``(2, 3)``.
+    """
+    return {
+        3: HPSet(3, [HPEntry.direct(1)]),
+        4: HPSet(
+            4,
+            [
+                HPEntry.indirect(0, [2]),
+                HPEntry.indirect(1, [2, 3]),
+                HPEntry.direct(2),
+                HPEntry.direct(3),
+            ],
+        ),
+    }

@@ -1,0 +1,91 @@
+"""Unit tests for admission control (repro.core.admission)."""
+
+import pytest
+
+from repro.core.admission import AdmissionController
+from repro.core.streams import MessageStream
+from repro.errors import AnalysisError
+from repro.topology import Mesh2D, XYRouting
+
+
+@pytest.fixture()
+def controller():
+    mesh = Mesh2D(10, 10)
+    return AdmissionController(XYRouting(mesh)), mesh
+
+
+def ms(i, mesh, src, dst, priority, period=200, length=10, deadline=None):
+    return MessageStream(
+        i, mesh.node_xy(*src), mesh.node_xy(*dst), priority=priority,
+        period=period, length=length, deadline=deadline or period,
+    )
+
+
+class TestAdmission:
+    def test_admit_feasible_stream(self, controller):
+        ctrl, mesh = controller
+        d = ctrl.try_admit(ms(0, mesh, (0, 0), (5, 0), priority=1))
+        assert d.admitted
+        assert len(ctrl.admitted) == 1
+        assert d.violations == ()
+
+    def test_reject_infeasible_request(self, controller):
+        ctrl, mesh = controller
+        # Deadline below the no-load latency: impossible to guarantee.
+        bad = ms(0, mesh, (0, 0), (5, 0), priority=1, length=10, deadline=5)
+        d = ctrl.try_admit(bad)
+        assert not d.admitted
+        assert len(ctrl.admitted) == 0
+        assert 0 in d.violations
+
+    def test_rejection_protects_existing_guarantees(self, controller):
+        ctrl, mesh = controller
+        # Victim: low priority, tight deadline, just feasible alone.
+        victim = ms(0, mesh, (0, 0), (5, 0), priority=1, length=10,
+                    period=500, deadline=15)
+        assert ctrl.try_admit(victim).admitted
+        # Aggressor: higher priority on the same row; would break victim.
+        aggressor = ms(1, mesh, (1, 0), (6, 0), priority=2, length=30,
+                       period=40, deadline=200)
+        d = ctrl.try_admit(aggressor)
+        assert not d.admitted
+        assert 0 in d.violations
+        assert len(ctrl.admitted) == 1
+
+    def test_batch_admission_all_or_nothing(self, controller):
+        ctrl, mesh = controller
+        good = ms(0, mesh, (0, 0), (5, 0), priority=1)
+        bad = ms(1, mesh, (0, 1), (5, 1), priority=1, deadline=2)
+        d = ctrl.try_admit([good, bad])
+        assert not d.admitted
+        assert len(ctrl.admitted) == 0
+
+    def test_release_frees_capacity(self, controller):
+        ctrl, mesh = controller
+        a = ms(0, mesh, (0, 0), (5, 0), priority=2, period=40, length=30)
+        assert ctrl.try_admit(a).admitted
+        tight = ms(1, mesh, (1, 0), (6, 0), priority=1, length=10,
+                   period=500, deadline=15)
+        assert not ctrl.try_admit(tight).admitted
+        ctrl.release(0)
+        assert ctrl.try_admit(tight).admitted
+
+    def test_empty_request_rejected(self, controller):
+        ctrl, _ = controller
+        with pytest.raises(AnalysisError):
+            ctrl.try_admit([])
+
+    def test_fresh_id_skips_admitted(self, controller):
+        ctrl, mesh = controller
+        ctrl.try_admit(ms(0, mesh, (0, 0), (5, 0), priority=1))
+        nid = ctrl.fresh_id()
+        assert nid not in ctrl.admitted
+        assert ctrl.fresh_id() != nid
+
+    def test_current_report(self, controller):
+        ctrl, mesh = controller
+        with pytest.raises(AnalysisError):
+            ctrl.current_report()
+        ctrl.try_admit(ms(0, mesh, (0, 0), (5, 0), priority=1))
+        report = ctrl.current_report()
+        assert report.success

@@ -1,0 +1,180 @@
+"""Unit tests for the evaluation harness (repro.analysis)."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLES,
+    format_rule_sweep,
+    format_table,
+    inflate_periods,
+    priority_rule_sweep,
+    ratio_by_priority,
+    run_paper_table,
+    run_table_experiment,
+    stream_ratios,
+)
+from repro.core.streams import MessageStream, StreamSet
+from repro.errors import AnalysisError
+from repro.sim.flit import Message
+from repro.sim.stats import StatsCollector
+from repro.topology import Mesh2D, XYRouting
+
+
+@pytest.fixture(scope="module")
+def net():
+    mesh = Mesh2D(10, 10)
+    return mesh, XYRouting(mesh)
+
+
+def _collector(samples):
+    """Build a StatsCollector from {stream_id: (priority, [delays])}."""
+    c = StatsCollector()
+    mid = 0
+    for sid, (prio, delays) in samples.items():
+        for d in delays:
+            m = Message(mid, sid, prio, src=0, dst=1, length=1, release=0,
+                        path=(0, 1))
+            m.finish = d
+            c.record(m)
+            mid += 1
+    return c
+
+
+def ms(i, priority, period=100):
+    return MessageStream(i, 0, 1, priority=priority, period=period,
+                         length=10, deadline=period, latency=10)
+
+
+class TestStreamRatios:
+    def test_basic_ratio(self):
+        streams = StreamSet([ms(0, 1), ms(1, 2)])
+        stats = _collector({0: (1, [50]), 1: (2, [20, 40])})
+        r = stream_ratios(streams, {0: 100, 1: 60}, stats)
+        assert r[0] == pytest.approx(0.5)
+        assert r[1] == pytest.approx(0.5)
+
+    def test_unbounded_maps_to_zero(self):
+        streams = StreamSet([ms(0, 1)])
+        stats = _collector({0: (1, [50])})
+        r = stream_ratios(streams, {0: -1}, stats)
+        assert r[0] == 0.0
+
+    def test_silent_stream_skipped(self):
+        streams = StreamSet([ms(0, 1), ms(1, 1)])
+        stats = _collector({0: (1, [50])})
+        r = stream_ratios(streams, {0: 100, 1: 100}, stats)
+        assert set(r) == {0}
+
+    def test_missing_bound_rejected(self):
+        streams = StreamSet([ms(0, 1)])
+        stats = _collector({0: (1, [50])})
+        with pytest.raises(AnalysisError):
+            stream_ratios(streams, {}, stats)
+
+
+class TestRatioByPriority:
+    def test_pooling(self):
+        streams = StreamSet([ms(0, 1), ms(1, 1), ms(2, 2)])
+        stats = _collector({
+            0: (1, [50]), 1: (1, [100]), 2: (2, [90]),
+        })
+        rows = ratio_by_priority(streams, {0: 100, 1: 100, 2: 100}, stats)
+        assert rows[1].num_streams == 2
+        assert rows[1].mean == pytest.approx(0.75)
+        assert rows[1].minimum == pytest.approx(0.5)
+        assert rows[2].mean == pytest.approx(0.9)
+
+    def test_unbounded_counted(self):
+        streams = StreamSet([ms(0, 1), ms(1, 1)])
+        stats = _collector({0: (1, [50]), 1: (1, [50])})
+        rows = ratio_by_priority(streams, {0: 100, 1: -1}, stats)
+        assert rows[1].num_unbounded == 1
+        assert rows[1].minimum == 0.0
+
+
+class TestInflation:
+    def test_no_change_when_bounds_fit(self, net):
+        mesh, rt = net
+        streams = StreamSet([
+            MessageStream(0, mesh.node_xy(0, 0), mesh.node_xy(5, 0),
+                          priority=1, period=1000, length=10, deadline=1000),
+        ])
+        result = inflate_periods(streams, rt)
+        assert result.converged
+        assert result.inflated == {}
+        assert result.streams[0].period == 1000
+
+    def test_period_raised_to_bound(self, net):
+        mesh, rt = net
+        # High-priority hog forces the low stream's bound past its period.
+        streams = StreamSet([
+            MessageStream(0, mesh.node_xy(0, 0), mesh.node_xy(5, 0),
+                          priority=2, period=20, length=15, deadline=20),
+            MessageStream(1, mesh.node_xy(1, 0), mesh.node_xy(6, 0),
+                          priority=1, period=30, length=10, deadline=30),
+        ])
+        result = inflate_periods(streams, rt)
+        assert result.converged
+        assert 1 in result.inflated
+        orig, final = result.inflated[1]
+        assert orig == 30 and final > 30
+        assert result.upper_bounds[1] <= final
+
+    def test_final_bounds_consistent_with_final_periods(self, net):
+        mesh, rt = net
+        streams = StreamSet([
+            MessageStream(0, mesh.node_xy(0, 0), mesh.node_xy(5, 0),
+                          priority=2, period=20, length=15, deadline=20),
+            MessageStream(1, mesh.node_xy(1, 0), mesh.node_xy(6, 0),
+                          priority=1, period=30, length=10, deadline=30),
+        ])
+        result = inflate_periods(streams, rt)
+        from repro.core.feasibility import FeasibilityAnalyzer
+
+        recheck = FeasibilityAnalyzer(result.streams, rt).all_upper_bounds()
+        assert recheck == result.upper_bounds
+        # At the fixpoint every bound fits inside its (possibly raised) period.
+        for sid, u in recheck.items():
+            assert 0 < u <= result.streams[sid].period
+
+
+class TestTableRunners:
+    def test_small_table_end_to_end(self):
+        r = run_table_experiment(
+            name="mini", num_streams=8, priority_levels=2, seed=0,
+            sim_time=6_000, warmup=500,
+        )
+        assert set(r.rows).issubset({1, 2})
+        for stats in r.rows.values():
+            assert 0.0 <= stats.mean <= 1.0
+        assert r.highest_priority_ratio() >= 0.0
+        out = format_table(r)
+        assert "mini" in out and "P" in out
+
+    def test_bounds_hold_in_simulation(self):
+        """Integration: on a moderate workload no measured delay may exceed
+        its stream's computed bound."""
+        r = run_table_experiment(
+            name="sound", num_streams=15, priority_levels=4, seed=3,
+            sim_time=15_000, warmup=1_000,
+        )
+        for sid in r.stats.stream_ids():
+            u = r.upper_bounds[sid]
+            if u > 0:
+                assert r.stats.max_delay(sid) <= u
+
+    def test_paper_table_names(self):
+        assert set(PAPER_TABLES) == {
+            "table1", "table2", "table3", "table4", "table5",
+        }
+        with pytest.raises(AnalysisError):
+            run_paper_table("table9")
+
+    def test_rule_sweep_format(self):
+        results = priority_rule_sweep(
+            num_streams=8, levels=(1, 2), seed=0,
+            sim_time=4_000, warmup=500,
+        )
+        out = format_rule_sweep(results)
+        assert "|M| = 8" in out
+        assert format_rule_sweep({}) == "(empty sweep)"

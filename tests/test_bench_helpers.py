@@ -1,0 +1,71 @@
+"""Unit tests for the benchmark harness helpers (benchmarks/common.py)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    run_table_seeds,
+    soundness_report,
+    summarize_seeds,
+    write_output,
+)
+
+
+@pytest.fixture(scope="module")
+def small_results(monkeypatch_module=None):
+    """Two tiny table runs (module-scoped: they cost ~0.5 s)."""
+    import benchmarks.common as common
+
+    old_time, old_seeds = common.SIM_TIME, common.N_SEEDS
+    common.SIM_TIME = 3_000
+    try:
+        return run_table_seeds("helper_test", num_streams=6,
+                               priority_levels=2, seeds=[0, 1])
+    finally:
+        common.SIM_TIME = old_time
+        common.N_SEEDS = old_seeds
+
+
+class TestSummarize:
+    def test_contains_each_seed_and_average(self, small_results):
+        text = summarize_seeds("helper_test", small_results)
+        assert "helper_test_seed0" in text
+        assert "helper_test_seed1" in text
+        assert "seed-averaged ratio per priority level" in text
+
+    def test_average_is_mean_of_seeds(self, small_results):
+        text = summarize_seeds("helper_test", small_results)
+        top = max(small_results[0].rows)
+        expected = np.mean([
+            r.rows[top].mean for r in small_results if top in r.rows
+        ])
+        assert f"{expected:.3f}" in text
+
+
+class TestSoundnessReport:
+    def test_clean_report(self, small_results):
+        text = soundness_report(small_results)
+        assert text.startswith("soundness: max observed delay <= U")
+
+    def test_violation_formatting(self, small_results):
+        # Forge a violation by shrinking one bound below the observed max.
+        forged = small_results[0]
+        sid = next(iter(forged.stats.stream_ids()))
+        original = forged.upper_bounds[sid]
+        forged.upper_bounds[sid] = 1
+        try:
+            text = soundness_report(small_results)
+            assert "BOUND VIOLATIONS" in text
+            assert f"stream {sid}" in text
+        finally:
+            forged.upper_bounds[sid] = original
+
+
+class TestWriteOutput:
+    def test_persists_and_echoes(self, tmp_path, capsys, monkeypatch):
+        import benchmarks.common as common
+
+        monkeypatch.setattr(common, "OUTPUT_DIR", tmp_path)
+        write_output("unit", "hello artifact")
+        assert (tmp_path / "unit.txt").read_text() == "hello artifact\n"
+        assert "hello artifact" in capsys.readouterr().out

@@ -1,0 +1,104 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_table_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "table9"])
+
+
+class TestExampleCommand:
+    def test_prints_paper_bounds(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "U = {0: 7, 1: 8, 2: 26, 3: 20, 4: 33}" in out
+        assert "success" in out
+        assert "HP_4" in out
+
+
+class TestTableCommand:
+    def test_small_table_run(self, capsys):
+        code = main(["table", "table1", "--seed", "0",
+                     "--sim-time", "4000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "P    1" in out
+
+
+class TestSoundnessCommand:
+    def test_sound_campaign_exit_zero(self, capsys):
+        code = main(["soundness", "--workloads", "1", "--streams", "6",
+                     "--levels", "2", "--sim-time", "2000"])
+        assert code == 0
+        assert "sound" in capsys.readouterr().out
+
+
+class TestCheckCommand:
+    def test_feasible_set(self, tmp_path, capsys):
+        spec = {
+            "mesh": {"width": 10, "height": 10},
+            "streams": [
+                {"id": 0, "src": [0, 0], "dst": [5, 0], "priority": 2,
+                 "period": 100, "length": 10, "deadline": 50},
+            ],
+        }
+        path = tmp_path / "streams.json"
+        path.write_text(json.dumps(spec))
+        assert main(["check", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "feasible" in out
+        assert "U=   14" in out
+
+    def test_infeasible_set_exit_one(self, tmp_path, capsys):
+        spec = {
+            "mesh": {"width": 10, "height": 10},
+            "streams": [
+                {"id": 0, "src": [0, 0], "dst": [5, 0], "priority": 1,
+                 "period": 100, "length": 10, "deadline": 5},
+            ],
+        }
+        path = tmp_path / "streams.json"
+        path.write_text(json.dumps(spec))
+        assert main(["check", str(path)]) == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_node_id_form(self, tmp_path, capsys):
+        spec = {
+            "mesh": {"width": 4, "height": 4},
+            "streams": [
+                {"id": 0, "src": 0, "dst": 3, "priority": 1,
+                 "period": 50, "length": 4, "deadline": 50},
+            ],
+        }
+        path = tmp_path / "streams.json"
+        path.write_text(json.dumps(spec))
+        assert main(["check", str(path)]) == 0
+
+    def test_repro_error_exit_two(self, tmp_path, capsys):
+        spec = {
+            "mesh": {"width": 4, "height": 4},
+            "streams": [
+                {"id": 0, "src": 0, "dst": 0, "priority": 1,
+                 "period": 50, "length": 4, "deadline": 50},
+            ],
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(spec))
+        assert main(["check", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,62 @@
+"""Golden regression tests: exact deterministic pins.
+
+Everything in this repository is deterministic under fixed seeds, so these
+tests pin exact values produced by the current implementation. They are
+regression tripwires: any change to workload generation, the analysis, the
+simulator's arbitration, or the statistics will trip one of them — which
+is the point. If a change is *intended* to alter results, update the pins
+alongside it and say why in the commit.
+"""
+
+import pytest
+
+from repro.analysis import run_table_experiment
+from repro.core.feasibility import FeasibilityAnalyzer
+from repro.sim import PaperWorkload, WormholeSimulator
+from repro.topology import Mesh2D, XYRouting
+
+
+@pytest.fixture(scope="module")
+def net():
+    mesh = Mesh2D(10, 10)
+    return mesh, XYRouting(mesh)
+
+
+class TestGoldenPins:
+    def test_table_experiment_ratios(self):
+        r = run_table_experiment(
+            name="golden", num_streams=20, priority_levels=4, seed=1,
+            sim_time=8_000, warmup=1_000,
+        )
+        ratios = {p: round(v.mean, 6) for p, v in r.rows.items()}
+        assert ratios == {
+            4: 0.857995, 3: 0.911111, 2: 0.810796, 1: 0.816092,
+        }
+
+    def test_workload_bounds(self, net):
+        mesh, rt = net
+        wl = PaperWorkload(num_streams=12, priority_levels=3, seed=7,
+                           period_range=(200, 500))
+        an = FeasibilityAnalyzer(wl.generate(mesh), rt)
+        assert an.all_upper_bounds(max_horizon=1 << 16) == {
+            0: 36, 1: 29, 2: 31, 3: 37, 4: 32, 5: 44,
+            6: 96, 7: 45, 8: 41, 9: 60, 10: 93, 11: 41,
+        }
+
+    def test_simulated_transfer_count(self, net):
+        mesh, rt = net
+        wl = PaperWorkload(num_streams=12, priority_levels=3, seed=7,
+                           period_range=(200, 500))
+        streams = wl.generate(mesh)
+        sim = WormholeSimulator(mesh, rt, streams)
+        stats = sim.simulate_streams(4_000)
+        assert sim.total_transfers == 31_073
+        assert stats.unfinished == 0
+
+    def test_paper_example_is_the_master_pin(self, paper_streams, xy10,
+                                             paper_hp_override):
+        an = FeasibilityAnalyzer(paper_streams, xy10,
+                                 hp_override=paper_hp_override)
+        assert an.determine_feasibility().upper_bounds() == {
+            0: 7, 1: 8, 2: 26, 3: 20, 4: 33,
+        }

@@ -1,0 +1,48 @@
+"""Unit tests for latency models (repro.core.latency)."""
+
+import pytest
+
+from repro.core.latency import NoLoadLatency, PipelinedLatency
+from repro.core.streams import MessageStream
+from repro.errors import StreamError
+
+
+def ms(length):
+    return MessageStream(0, 0, 1, priority=1, period=100, length=length,
+                         deadline=100)
+
+
+class TestNoLoadLatency:
+    def test_paper_formula(self):
+        model = NoLoadLatency()
+        assert model.latency(ms(4), 4) == 7
+        assert model.latency(ms(2), 7) == 8
+        assert model.latency(ms(4), 9) == 12
+        assert model.latency(ms(9), 8) == 16
+        assert model.latency(ms(6), 5) == 10
+
+    def test_single_flit(self):
+        assert NoLoadLatency().latency(ms(1), 3) == 3
+
+    def test_single_hop(self):
+        assert NoLoadLatency().latency(ms(10), 1) == 10
+
+    def test_rejects_zero_hops(self):
+        with pytest.raises(StreamError):
+            NoLoadLatency().latency(ms(4), 0)
+
+
+class TestPipelinedLatency:
+    def test_router_delay_scales_header(self):
+        model = PipelinedLatency(header_hop_delay=3)
+        # header: 3 cycles/hop * 4 hops; body: C-1 more flit times.
+        assert model.latency(ms(5), 4) == 12 + 4
+
+    def test_unit_delay_equals_no_load(self):
+        a, b = PipelinedLatency(1), NoLoadLatency()
+        for hops in (1, 5, 9):
+            assert a.latency(ms(7), hops) == b.latency(ms(7), hops)
+
+    def test_rejects_bad_delay(self):
+        with pytest.raises(StreamError):
+            PipelinedLatency(0)

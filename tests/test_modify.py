@@ -1,0 +1,122 @@
+"""Unit tests for Modify_Diagram (repro.core.modify).
+
+The key fixture is the paper's Fig. 6: the Fig. 4 streams re-labelled so
+that M1 and M2 are INDIRECT with intermediates (M2) and (M3) respectively;
+the paper removes M1's 2nd and 3rd instances and reads U = 22.
+"""
+
+import pytest
+
+from repro.core.hpset import HPEntry, HPSet
+from repro.core.modify import modify_diagram, releasable_instances
+from repro.core.streams import MessageStream, StreamSet
+from repro.core.timing_diagram import generate_init_diagram
+from repro.errors import AnalysisError
+
+
+def ms(i, priority, period, length, src=0, dst=1):
+    return MessageStream(i, src, dst, priority=priority, period=period,
+                         length=length, deadline=period)
+
+
+@pytest.fixture()
+def fig6():
+    """Fig. 6 setup: chain M4 <- M3 <- M2 <- M1 (blocked-by direction)."""
+    owner = ms(4, priority=0, period=100, length=6)
+    streams = StreamSet([
+        ms(1, priority=3, period=10, length=2),
+        ms(2, priority=2, period=15, length=3),
+        ms(3, priority=1, period=13, length=4),
+        owner,
+    ])
+    hp = HPSet(4, [
+        HPEntry.indirect(1, [2]),
+        HPEntry.indirect(2, [3]),
+        HPEntry.direct(3),
+    ])
+    blockers = {4: (3,), 3: (2,), 2: (1,), 1: ()}
+    return owner, streams, hp, blockers
+
+
+class TestFig6:
+    def test_paper_u22(self, fig6):
+        owner, streams, hp, blockers = fig6
+        diagram, removed = modify_diagram(owner, hp, streams, blockers, 30)
+        assert diagram.upper_bound(6) == 22
+
+    def test_m1_second_and_third_instances_removed(self, fig6):
+        owner, streams, hp, blockers = fig6
+        diagram, removed = modify_diagram(owner, hp, streams, blockers, 30)
+        # Instances at releases 10 and 20 (indices 1, 2) vanish because M2
+        # does not request any of their slots.
+        assert {1, 2}.issubset(removed[1])
+
+    def test_m2_kept_where_m3_requests(self, fig6):
+        owner, streams, hp, blockers = fig6
+        diagram, removed = modify_diagram(owner, hp, streams, blockers, 30)
+        kept = {inst.index for inst in diagram.instances[2]}
+        # M3 waits through M2's first two instances, so they stay.
+        assert {0, 1}.issubset(kept)
+
+    def test_direct_only_matches_fig4(self, fig6):
+        owner, streams, hp, blockers = fig6
+        # Without any indirect entries the diagram is Fig. 4's: U = 26.
+        hp_direct = HPSet(4, [HPEntry.direct(1), HPEntry.direct(2),
+                              HPEntry.direct(3)])
+        diagram, removed = modify_diagram(
+            owner, hp_direct, streams, blockers, 30
+        )
+        assert removed == {}
+        assert diagram.upper_bound(6) == 26
+
+    def test_modify_never_loosens_bound(self, fig6):
+        owner, streams, hp, blockers = fig6
+        rows = tuple(
+            sorted((streams[e.stream_id] for e in hp),
+                   key=lambda s: (-s.priority, s.stream_id))
+        )
+        init = generate_init_diagram(4, rows, 30)
+        final, _ = modify_diagram(owner, hp, streams, blockers, 30)
+        assert final.upper_bound(6) <= init.upper_bound(6)
+
+    def test_fixpoint_at_least_as_tight(self, fig6):
+        owner, streams, hp, blockers = fig6
+        single, _ = modify_diagram(owner, hp, streams, blockers, 30)
+        fixed, _ = modify_diagram(
+            owner, hp, streams, blockers, 30, fixpoint=True
+        )
+        assert fixed.upper_bound(6) <= single.upper_bound(6)
+
+
+class TestReleasableInstances:
+    def test_requires_intermediates(self):
+        rows = (ms(0, 2, period=10, length=2),)
+        d = generate_init_diagram(9, rows, 20)
+        with pytest.raises(AnalysisError):
+            releasable_instances(d, 0, frozenset())
+
+    def test_idle_intermediate_releases(self):
+        # K (stream 0) allocates 1-2 and 11-12; intermediate (stream 1,
+        # period 40) only requests early slots.
+        rows = (
+            ms(0, 2, period=10, length=2),
+            ms(1, 1, period=40, length=3),
+        )
+        d = generate_init_diagram(9, rows, 40)
+        rel = releasable_instances(d, 0, frozenset({1}))
+        # Instance 0 overlaps the intermediate's waiting (slots 1-2) and
+        # stays; later instances see the intermediate idle and go.
+        assert 0 not in rel
+        assert {1, 2, 3}.issubset(set(rel))
+
+    def test_paper_example_hp4_releases(self, paper_streams, paper_hp_override):
+        """Section 4.4: M0's 2nd/3rd instances and M1's 4th are removed."""
+        streams = paper_streams
+        hp4 = paper_hp_override[4]
+        blockers = {0: (), 1: (), 2: (0, 1), 3: (1,), 4: (2, 3)}
+        diagram, removed = modify_diagram(
+            streams[4], hp4, streams, blockers, 50
+        )
+        assert removed[0] == {1, 2}
+        assert removed[1] == {3}
+        assert diagram.upper_bound(10) == 33

@@ -1,0 +1,58 @@
+"""Unit tests for the parallel seed runner (repro.analysis.parallel)."""
+
+import os
+
+import pytest
+
+from repro.analysis.parallel import map_seeds
+from repro.errors import AnalysisError
+
+
+def square(seed):
+    return seed * seed
+
+
+def table_ratio(seed):
+    """A real (small) experiment, used for serial/parallel equivalence."""
+    from repro.analysis import run_table_experiment
+
+    r = run_table_experiment(
+        name=f"par{seed}", num_streams=6, priority_levels=2, seed=seed,
+        sim_time=2_000, warmup=200,
+    )
+    return {p: stats.mean for p, stats in r.rows.items()}
+
+
+class TestMapSeeds:
+    def test_serial_path(self):
+        assert map_seeds(square, [3, 1, 2], processes=1) == [9, 1, 4]
+
+    def test_preserves_seed_order(self):
+        out = map_seeds(square, list(range(8)), processes=2)
+        assert out == [s * s for s in range(8)]
+
+    def test_single_seed_short_circuits(self):
+        assert map_seeds(square, [5], processes=4) == [25]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            map_seeds(square, [])
+
+    def test_bad_processes_rejected(self):
+        with pytest.raises(AnalysisError):
+            map_seeds(square, [1], processes=0)
+
+    def test_exceptions_propagate(self):
+        def boom(seed):
+            raise ValueError(f"seed {seed}")
+
+        with pytest.raises(ValueError):
+            map_seeds(boom, [1, 2], processes=1)
+
+    @pytest.mark.skipif(os.cpu_count() in (None, 1),
+                        reason="needs more than one CPU to be meaningful")
+    def test_parallel_equals_serial_on_real_experiment(self):
+        seeds = [0, 1]
+        serial = map_seeds(table_ratio, seeds, processes=1)
+        parallel = map_seeds(table_ratio, seeds, processes=2)
+        assert serial == parallel

@@ -1,0 +1,79 @@
+"""Public API surface checks: every advertised name exists and resolves."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_root_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.topology",
+            "repro.core",
+            "repro.sim",
+            "repro.baselines",
+            "repro.rtchannel",
+            "repro.analysis",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__all__, module
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_version_matches_package_metadata(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_error_hierarchy(self):
+        from repro.errors import (
+            AnalysisError,
+            DeadlockError,
+            ReproError,
+            RoutingError,
+            SimulationError,
+            StreamError,
+            TopologyError,
+        )
+
+        for exc in (TopologyError, RoutingError, StreamError,
+                    AnalysisError, SimulationError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(DeadlockError, SimulationError)
+
+    def test_quickstart_docstring_example_runs(self):
+        """The usage example in the package docstring must stay valid."""
+        from repro import (
+            FeasibilityAnalyzer,
+            Mesh2D,
+            MessageStream,
+            StreamSet,
+            XYRouting,
+        )
+
+        mesh = Mesh2D(10, 10)
+        routing = XYRouting(mesh)
+        streams = StreamSet([
+            MessageStream(0, mesh.node_xy(7, 3), mesh.node_xy(7, 7),
+                          priority=5, period=150, length=4, deadline=150),
+            MessageStream(1, mesh.node_xy(1, 1), mesh.node_xy(5, 4),
+                          priority=4, period=100, length=2, deadline=100),
+        ])
+        report = FeasibilityAnalyzer(streams, routing).determine_feasibility()
+        assert report.success
+        assert report.upper_bounds() == {0: 7, 1: 8}
+
+    def test_no_paper_docstring_drift(self):
+        """Module docstrings that quote the paper's reconstructed constants
+        must agree with the conftest fixture (guards accidental edits)."""
+        from tests.conftest import PAPER_EXAMPLE, PAPER_EXAMPLE_U
+
+        assert PAPER_EXAMPLE[0][2:] == (5, 15, 4, 15, 7)
+        assert PAPER_EXAMPLE_U == {0: 7, 1: 8, 2: 26, 3: 20, 4: 33}

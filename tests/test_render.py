@@ -1,0 +1,81 @@
+"""Unit tests for ASCII rendering (repro.core.render)."""
+
+import pytest
+
+from repro.core.bdg import build_bdg
+from repro.core.feasibility import FeasibilityAnalyzer
+from repro.core.hpset import HPEntry, HPSet
+from repro.core.render import CELL_CHARS, render_bdg, render_diagram, render_hp_set
+from repro.core.streams import MessageStream
+from repro.core.timing_diagram import CellState, generate_init_diagram
+
+
+def ms(i, priority, period, length):
+    return MessageStream(i, 0, 1, priority=priority, period=period,
+                         length=length, deadline=period)
+
+
+class TestRenderDiagram:
+    @pytest.fixture()
+    def diagram(self):
+        rows = (ms(1, 3, 10, 2), ms(2, 2, 15, 3))
+        return generate_init_diagram(9, rows, dtime=20)
+
+    def test_contains_row_labels_and_legend(self, diagram):
+        out = render_diagram(diagram)
+        assert "M1" in out and "M2" in out and "result" in out
+        assert "legend:" in out
+
+    def test_row_width_equals_dtime(self, diagram):
+        out = render_diagram(diagram)
+        rows = [l for l in out.splitlines() if l.strip().startswith("M")]
+        label_width = rows[0].index("X")  # M1 allocates slot 1
+        for line in rows:
+            assert len(line) - label_width == 20
+
+    def test_cell_characters(self, diagram):
+        out = render_diagram(diagram)
+        m1_line = next(l for l in out.splitlines() if l.startswith("M1"))
+        cells = m1_line[-20:]
+        assert cells[0] == CELL_CHARS[int(CellState.ALLOCATED)]
+        assert cells[2] == CELL_CHARS[int(CellState.FREE)]
+        m2_line = next(l for l in out.splitlines() if l.startswith("M2"))
+        assert m2_line[-20:][0] == CELL_CHARS[int(CellState.WAITING)]
+
+    def test_upper_bound_marker(self, diagram):
+        u = diagram.upper_bound(3)
+        out = render_diagram(diagram, upper_bound=u)
+        assert f"U = {u}" in out
+        marker_line = next(l for l in out.splitlines() if "^" in l)
+        result_line = next(l for l in out.splitlines()
+                           if l.startswith("result"))
+        # The caret sits under a FREE result cell.
+        col = marker_line.index("^")
+        assert result_line[col] == CELL_CHARS[int(CellState.FREE)]
+
+    def test_no_marker_for_unbounded(self, diagram):
+        out = render_diagram(diagram, upper_bound=-1)
+        assert "^" not in out
+
+
+class TestRenderHPSet:
+    def test_direct_and_indirect(self):
+        hp = HPSet(4, [HPEntry.direct(2), HPEntry.indirect(0, [2, 3])])
+        out = render_hp_set(hp)
+        assert out.startswith("HP_4")
+        assert "(2, DIRECT" in out
+        assert "(0, INDIRECT, (2, 3))" in out
+
+    def test_empty(self):
+        assert "HP_7" in render_hp_set(HPSet(7))
+
+
+class TestRenderBDG:
+    def test_layers_and_edges(self, paper_streams, xy10):
+        an = FeasibilityAnalyzer(paper_streams, xy10)
+        g = build_bdg(an.hp_sets[4], an.blockers)
+        out = render_bdg(g, 4)
+        assert "depth 0: M4" in out
+        assert "depth 1: M2  M3" in out
+        assert "M4 -> M2" in out
+        assert "M2 -> M0" in out

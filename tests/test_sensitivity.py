@@ -1,0 +1,52 @@
+"""Unit tests for sensitivity sweeps (repro.analysis.sensitivity)."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    SweepPoint,
+    format_sweep,
+    sweep_mesh_size,
+    sweep_num_streams,
+)
+from repro.errors import AnalysisError
+
+
+class TestSweeps:
+    def test_num_streams_single_point(self):
+        points = sweep_num_streams((8,), seeds=(0,), sim_time=3_000)
+        assert len(points) == 1
+        p = points[0]
+        assert p.x == 8
+        assert 0.0 <= p.mean_ratio <= 1.0
+        assert 0.0 <= p.top_ratio <= 1.0
+        assert p.mean_hp_size >= 0.0
+        assert p.seeds == 1
+
+    def test_mesh_size_point_uses_width(self):
+        points = sweep_mesh_size((6,), seeds=(0,), sim_time=3_000)
+        assert points[0].x == 6
+
+    def test_levels_follow_rule(self):
+        # 12 streams -> 3 levels; with one seed the point must still run.
+        points = sweep_num_streams((12,), seeds=(0,), sim_time=3_000)
+        assert points[0].label == "num_streams"
+
+
+class TestFormatting:
+    def test_format_alignment(self):
+        points = [
+            SweepPoint(x=10, label="t", mean_ratio=0.5, top_ratio=0.9,
+                       mean_hp_size=1.25, inflated_share=0.1, seeds=2),
+            SweepPoint(x=20, label="t", mean_ratio=0.4, top_ratio=0.8,
+                       mean_hp_size=2.0, inflated_share=0.0, seeds=2),
+        ]
+        out = format_sweep("demo", points)
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "mean ratio" in lines[1]
+        assert len(lines) == 4
+        assert "0.500" in lines[2] and "10.0%" in lines[2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_sweep("demo", [])

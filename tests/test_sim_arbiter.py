@@ -1,0 +1,93 @@
+"""Unit tests for channel arbiters (repro.sim.arbiter)."""
+
+import pytest
+
+from repro.sim.arbiter import (
+    FCFSArbiter,
+    PriorityPreemptiveArbiter,
+    RoundRobinArbiter,
+)
+from repro.sim.flit import Message
+from repro.sim.router import VirtualChannel
+
+
+def cand(msg_id, priority, stream_id=None, release=0):
+    m = Message(
+        msg_id=msg_id,
+        stream_id=stream_id if stream_id is not None else msg_id,
+        priority=priority, src=0, dst=1, length=3, release=release,
+        path=(0, 1),
+    )
+    vc = VirtualChannel(0, -1, 0, None)
+    return (vc, m)
+
+
+CH = (0, 1)
+
+
+class TestPriorityPreemptive:
+    def test_highest_priority_wins(self):
+        arb = PriorityPreemptiveArbiter()
+        a, b, c = cand(0, 1), cand(1, 5), cand(2, 3)
+        assert arb.select(CH, [a, b, c], now=0) is b
+
+    def test_tie_breaks_by_stream_id(self):
+        arb = PriorityPreemptiveArbiter()
+        a, b = cand(0, 2, stream_id=7), cand(1, 2, stream_id=3)
+        assert arb.select(CH, [a, b], now=0) is b
+
+    def test_tie_breaks_by_msg_id(self):
+        arb = PriorityPreemptiveArbiter()
+        a, b = cand(9, 2, stream_id=3), cand(4, 2, stream_id=3)
+        assert arb.select(CH, [a, b], now=0) is b
+
+    def test_order_independent(self):
+        arb = PriorityPreemptiveArbiter()
+        cands = [cand(0, 1), cand(1, 5), cand(2, 3)]
+        assert (
+            arb.select(CH, cands, 0)
+            is arb.select(CH, list(reversed(cands)), 0)
+        )
+
+
+class TestFCFS:
+    def test_earliest_release_wins(self):
+        arb = FCFSArbiter()
+        a, b = cand(0, 5, release=10), cand(1, 1, release=3)
+        assert arb.select(CH, [a, b], now=20) is b
+
+    def test_priority_ignored(self):
+        arb = FCFSArbiter()
+        lo, hi = cand(0, 1, release=0), cand(1, 9, release=0)
+        # Same release: tie-break by stream id -> the low-priority stream 0.
+        assert arb.select(CH, [lo, hi], now=0) is lo
+
+
+class TestRoundRobin:
+    def test_rotates_between_candidates(self):
+        arb = RoundRobinArbiter()
+        a, b, c = cand(0, 1), cand(1, 1), cand(2, 1)
+        winners = [arb.select(CH, [a, b, c], t)[1].msg_id for t in range(6)]
+        assert winners == [0, 1, 2, 0, 1, 2]
+
+    def test_per_channel_state(self):
+        arb = RoundRobinArbiter()
+        a, b = cand(0, 1), cand(1, 1)
+        assert arb.select((0, 1), [a, b], 0) is a
+        # A different channel starts its own rotation.
+        assert arb.select((5, 6), [a, b], 0) is a
+        assert arb.select((0, 1), [a, b], 1) is b
+
+    def test_reset_clears_state(self):
+        arb = RoundRobinArbiter()
+        a, b = cand(0, 1), cand(1, 1)
+        arb.select(CH, [a, b], 0)
+        arb.reset()
+        assert arb.select(CH, [a, b], 1) is a
+
+    def test_wraps_after_last(self):
+        arb = RoundRobinArbiter()
+        a, b = cand(0, 1), cand(1, 1)
+        assert arb.select(CH, [a, b], 0) is a
+        assert arb.select(CH, [a, b], 1) is b
+        assert arb.select(CH, [a, b], 2) is a

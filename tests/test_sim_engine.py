@@ -1,0 +1,121 @@
+"""Unit tests for the simulation kernel (repro.sim.engine)."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import SimulationKernel
+
+
+class RecordingKernel(SimulationKernel):
+    """Minimal kernel: payloads become 'work units' that each take one
+    cycle to complete; used to test clocking, injection and idle skip."""
+
+    def __init__(self, **kw):
+        super().__init__(**kw)
+        self.backlog = 0
+        self.injected_at = []
+        self.stepped_at = []
+        self.freeze = False  # when True, _step commits nothing
+
+    def _has_work(self):
+        return self.backlog > 0
+
+    def _inject(self, payloads):
+        for p in payloads:
+            self.backlog += 1
+            self.injected_at.append((self.now, p))
+
+    def _step(self):
+        self.stepped_at.append(self.now)
+        if self.freeze or self.backlog == 0:
+            return 0
+        self.backlog -= 1
+        return 1
+
+
+class TestScheduling:
+    def test_payload_available_next_cycle(self):
+        k = RecordingKernel()
+        k.schedule(5, "a")
+        k.run(10)
+        assert k.injected_at == [(6, "a")]
+
+    def test_schedule_in_past_rejected(self):
+        k = RecordingKernel()
+        k.run(10)
+        with pytest.raises(SimulationError):
+            k.schedule(3, "late")
+
+    def test_fifo_among_equal_times(self):
+        k = RecordingKernel()
+        k.schedule(0, "a")
+        k.schedule(0, "b")
+        k.run(2)
+        assert [p for _, p in k.injected_at] == ["a", "b"]
+
+    def test_next_release(self):
+        k = RecordingKernel()
+        assert k.next_release() is None
+        k.schedule(7, "x")
+        assert k.next_release() == 7
+
+
+class TestIdleSkip:
+    def test_skips_idle_gap(self):
+        k = RecordingKernel()
+        k.schedule(1000, "a")
+        k.run(2000)
+        # No cycles are stepped before the release becomes available.
+        assert k.stepped_at[0] == 1001
+        assert len(k.stepped_at) == 1  # one unit of work = one busy cycle
+
+    def test_clock_lands_on_until_when_idle(self):
+        k = RecordingKernel()
+        k.run(500)
+        assert k.now == 500
+        k.schedule(10_000, "later")
+        k.run(600)
+        assert k.now == 600
+        assert k.injected_at == []
+
+    def test_run_backwards_rejected(self):
+        k = RecordingKernel()
+        k.run(10)
+        with pytest.raises(SimulationError):
+            k.run(5)
+
+    def test_incremental_runs_accumulate(self):
+        k = RecordingKernel()
+        k.schedule(0, "a")
+        k.schedule(3, "b")
+        k.run(2)
+        assert k.backlog == 0 and len(k.injected_at) == 1
+        k.run(10)
+        assert len(k.injected_at) == 2
+
+
+class TestWatchdog:
+    def test_detects_stall(self):
+        k = RecordingKernel(watchdog_cycles=10)
+        k.schedule(0, "a")
+        k.freeze = True
+        with pytest.raises(DeadlockError):
+            k.run(100)
+
+    def test_progress_resets_watchdog(self):
+        k = RecordingKernel(watchdog_cycles=3)
+        for t in range(0, 40, 2):
+            k.schedule(t, f"p{t}")
+        k.run(50)  # alternating busy/idle cycles never trip the watchdog
+        assert k.backlog == 0
+
+    def test_disabled_watchdog(self):
+        k = RecordingKernel(watchdog_cycles=0)
+        k.schedule(0, "a")
+        k.freeze = True
+        k.run(200)  # runs to completion without raising
+        assert k.backlog == 1
+
+    def test_negative_watchdog_rejected(self):
+        with pytest.raises(SimulationError):
+            RecordingKernel(watchdog_cycles=-1)

@@ -1,0 +1,99 @@
+"""Property-based tests of the wormhole simulator's invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.streams import MessageStream, StreamSet
+from repro.sim import WormholeSimulator
+from repro.topology import Mesh2D, XYRouting
+
+MESH = Mesh2D(6, 6)
+XY = XYRouting(MESH)
+
+node_ids = st.integers(min_value=0, max_value=MESH.num_nodes - 1)
+
+
+@st.composite
+def sim_workloads(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    streams = StreamSet()
+    for i in range(n):
+        src = draw(node_ids)
+        dst = draw(node_ids.filter(lambda d: d != src))
+        streams.add(MessageStream(
+            stream_id=i, src=src, dst=dst,
+            priority=draw(st.integers(1, 3)),
+            period=draw(st.integers(30, 120)),
+            length=draw(st.integers(1, 12)),
+            deadline=10_000,
+        ))
+    return streams
+
+
+class TestSimulatorInvariants:
+    @given(streams=sim_workloads(), until=st.integers(100, 800))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_conservation_and_floor(self, streams, until):
+        sim = WormholeSimulator(MESH, XY, streams)
+        stats = sim.simulate_streams(until)
+        # Everything drains (deadline-free workload, preemptive network).
+        assert stats.unfinished == 0
+        total_flit_hops = 0
+        for s in streams:
+            st_ = stats.stream_stats(s.stream_id)
+            hops = XY.hop_count(s.src, s.dst)
+            no_load = hops + s.length - 1
+            # (1) physical floor: no delay below the no-load latency;
+            assert st_.minimum >= no_load
+            # (2) message count matches the release schedule;
+            expected = (until + s.period - 1) // s.period
+            assert st_.count == expected
+            total_flit_hops += expected * s.length * hops
+        # (3) flit conservation: every flit crossed every route channel
+        #     exactly once.
+        assert sim.total_transfers == total_flit_hops
+        assert sum(sim.channel_transfers.values()) == total_flit_hops
+
+    @given(streams=sim_workloads())
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_determinism(self, streams):
+        runs = []
+        for _ in range(2):
+            sim = WormholeSimulator(MESH, XY, streams)
+            stats = sim.simulate_streams(400)
+            runs.append(tuple(
+                (sid, stats.samples(sid)) for sid in stats.stream_ids()
+            ))
+        assert runs[0] == runs[1]
+
+    @given(streams=sim_workloads())
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_top_priority_unblocked_when_alone_at_level(self, streams):
+        """A unique top-priority stream always measures exactly its
+        no-load latency under preemptive switching."""
+        top = max(s.priority for s in streams)
+        top_streams = [s for s in streams if s.priority == top]
+        if len(top_streams) != 1:
+            return
+        s = top_streams[0]
+        sim = WormholeSimulator(MESH, XY, streams)
+        stats = sim.simulate_streams(400)
+        no_load = XY.hop_count(s.src, s.dst) + s.length - 1
+        stream_stats = stats.stream_stats(s.stream_id)
+        if s.period > no_load:  # no self-queueing
+            assert stream_stats.maximum == no_load
+
+    @given(streams=sim_workloads(), capacity=st.integers(2, 6))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_larger_buffers_never_hurt_unloaded_floor(self, streams,
+                                                      capacity):
+        sim = WormholeSimulator(MESH, XY, streams, vc_capacity=capacity)
+        stats = sim.simulate_streams(400)
+        for s in streams:
+            no_load = XY.hop_count(s.src, s.dst) + s.length - 1
+            assert stats.stream_stats(s.stream_id).minimum >= no_load

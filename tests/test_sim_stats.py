@@ -1,0 +1,78 @@
+"""Unit tests for statistics collection (repro.sim.stats)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.flit import Message
+from repro.sim.stats import DelayStats, StatsCollector
+
+
+def finished(msg_id, stream_id, priority, release, finish):
+    m = Message(
+        msg_id=msg_id, stream_id=stream_id, priority=priority,
+        src=0, dst=1, length=2, release=release, path=(0, 1),
+    )
+    m.finish = finish
+    return m
+
+
+class TestDelayStats:
+    def test_summary(self):
+        d = DelayStats.from_samples([10, 20, 30])
+        assert d.count == 3
+        assert d.mean == 20.0
+        assert d.maximum == 30 and d.minimum == 10
+        assert d.std == pytest.approx(8.1649658)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            DelayStats.from_samples([])
+
+
+class TestStatsCollector:
+    def test_record_and_query(self):
+        c = StatsCollector()
+        c.record(finished(0, 0, 1, release=0, finish=10))
+        c.record(finished(1, 0, 1, release=5, finish=25))
+        assert c.stream_ids() == (0,)
+        assert c.samples(0) == (10, 20)
+        assert c.mean_delay(0) == 15.0
+        assert c.max_delay(0) == 20
+
+    def test_warmup_releases_dropped(self):
+        c = StatsCollector(warmup=100)
+        c.record(finished(0, 0, 1, release=50, finish=200))
+        c.record(finished(1, 0, 1, release=100, finish=130))
+        assert c.dropped == 1
+        assert c.samples(0) == (30,)
+
+    def test_unfinished_message_rejected(self):
+        c = StatsCollector()
+        m = Message(0, 0, 1, src=0, dst=1, length=2, release=0, path=(0, 1))
+        with pytest.raises(SimulationError):
+            c.record(m)
+
+    def test_stats_for_silent_stream_rejected(self):
+        c = StatsCollector()
+        with pytest.raises(SimulationError):
+            c.stream_stats(3)
+
+    def test_priority_pooling(self):
+        c = StatsCollector()
+        c.record(finished(0, 0, priority=1, release=0, finish=10))
+        c.record(finished(1, 1, priority=1, release=0, finish=30))
+        c.record(finished(2, 2, priority=2, release=0, finish=5))
+        pooled = c.priority_stats()
+        assert pooled[1].count == 2 and pooled[1].mean == 20.0
+        assert pooled[2].count == 1 and pooled[2].mean == 5.0
+
+    def test_all_stream_stats(self):
+        c = StatsCollector()
+        c.record(finished(0, 0, 1, 0, 10))
+        c.record(finished(1, 4, 2, 0, 12))
+        out = c.all_stream_stats()
+        assert set(out) == {0, 4}
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(SimulationError):
+            StatsCollector(warmup=-1)

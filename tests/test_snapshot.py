@@ -1,0 +1,75 @@
+"""Unit tests for worm-state snapshots (repro.sim.snapshot)."""
+
+import pytest
+
+from repro.core.streams import MessageStream, StreamSet
+from repro.sim import WormholeSimulator, render_worm_snapshot
+from repro.topology import Hypercube, ECubeRouting, Mesh2D, XYRouting
+
+
+@pytest.fixture(scope="module")
+def net():
+    mesh = Mesh2D(10, 10)
+    return mesh, XYRouting(mesh)
+
+
+class TestWormSnapshot:
+    def test_empty_network(self, net):
+        mesh, rt = net
+        s = StreamSet([MessageStream(0, mesh.node_xy(0, 0),
+                                     mesh.node_xy(3, 0), priority=1,
+                                     period=100, length=4, deadline=100)])
+        sim = WormholeSimulator(mesh, rt, s)
+        out = render_worm_snapshot(sim)
+        assert "0 worm(s) in flight" in out
+
+    def test_mid_flight_occupancy(self, net):
+        mesh, rt = net
+        s = StreamSet([MessageStream(0, mesh.node_xy(0, 0),
+                                     mesh.node_xy(5, 0), priority=2,
+                                     period=1000, length=10,
+                                     deadline=1000)])
+        sim = WormholeSimulator(mesh, rt, s)
+        sim.release_message(s[0], 0)
+        sim.run(3)  # header three hops in, body stretched behind
+        out = render_worm_snapshot(sim)
+        assert "1 worm(s) in flight" in out
+        assert "stream 0 (P2) 10 flits (0,0)->(5,0)" in out
+        assert "src[inj" in out
+        assert "delivered 0/10" in out
+
+    def test_source_queue_visible(self, net):
+        mesh, rt = net
+        s = StreamSet([MessageStream(0, mesh.node_xy(0, 0),
+                                     mesh.node_xy(2, 0), priority=1,
+                                     period=5, length=20, deadline=1000)])
+        sim = WormholeSimulator(mesh, rt, s)
+        for t in (0, 5, 10):
+            sim.release_message(s[0], t)
+        sim.run(12)
+        out = render_worm_snapshot(sim)
+        assert "queue" in out
+
+    def test_delivery_progress(self, net):
+        mesh, rt = net
+        s = StreamSet([MessageStream(0, mesh.node_xy(0, 0),
+                                     mesh.node_xy(2, 0), priority=1,
+                                     period=1000, length=10,
+                                     deadline=1000)])
+        sim = WormholeSimulator(mesh, rt, s)
+        sim.release_message(s[0], 0)
+        sim.run(6)
+        out = render_worm_snapshot(sim)
+        # Header arrived at t=2; four more flits by t=6.
+        assert "delivered 5/10" in out
+
+    def test_non_mesh_node_names(self):
+        cube = Hypercube(3)
+        rt = ECubeRouting(cube)
+        s = StreamSet([MessageStream(0, 0, 7, priority=1, period=100,
+                                     length=6, deadline=100)])
+        sim = WormholeSimulator(cube, rt, s)
+        sim.release_message(s[0], 0)
+        sim.run(2)
+        out = render_worm_snapshot(sim)
+        assert "n0->n7" in out

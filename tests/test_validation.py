@@ -1,0 +1,68 @@
+"""Unit tests for soundness campaigns (repro.analysis.validation)."""
+
+import pytest
+
+from repro.analysis.validation import (
+    CampaignResult,
+    Violation,
+    run_soundness_campaign,
+)
+from repro.errors import AnalysisError
+
+
+class TestCampaign:
+    def test_small_campaign_is_sound(self):
+        result = run_soundness_campaign(
+            workloads=2, num_streams=8, priority_levels=2,
+            sim_time=4_000,
+        )
+        assert result.sound
+        assert result.violations == ()
+        assert result.checked > 0
+        assert result.workloads == 2
+        assert "sound: 0 violations" in result.summary()
+
+    def test_random_phases_doubles_runs(self):
+        with_phases = run_soundness_campaign(
+            workloads=1, num_streams=6, priority_levels=2,
+            sim_time=3_000, include_random_phases=True,
+        )
+        without = run_soundness_campaign(
+            workloads=1, num_streams=6, priority_levels=2,
+            sim_time=3_000, include_random_phases=False,
+        )
+        assert with_phases.checked == 2 * without.checked
+
+    def test_zero_workloads_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_soundness_campaign(workloads=0)
+
+    def test_seed0_changes_workloads(self):
+        a = run_soundness_campaign(workloads=1, num_streams=6,
+                                   priority_levels=2, sim_time=2_000,
+                                   include_random_phases=False, seed0=0)
+        b = run_soundness_campaign(workloads=1, num_streams=6,
+                                   priority_levels=2, sim_time=2_000,
+                                   include_random_phases=False, seed0=50)
+        assert a.checked > 0 and b.checked > 0
+
+
+class TestViolationReporting:
+    def test_violation_excess(self):
+        v = Violation(seed=1, phase_seed=None, stream_id=3, priority=2,
+                      observed_max=40, bound=33)
+        assert v.excess == 7
+
+    def test_unsound_summary_lists_violations(self):
+        result = CampaignResult(
+            workloads=1, checked=5, unbounded=0,
+            violations=(
+                Violation(seed=1, phase_seed=2, stream_id=3, priority=2,
+                          observed_max=40, bound=33),
+            ),
+            wall_seconds=0.1,
+        )
+        assert not result.sound
+        text = result.summary()
+        assert "UNSOUND" in text
+        assert "observed 40 > U=33 (+7)" in text
