@@ -15,8 +15,9 @@ Environment knobs:
 ``REPRO_BENCH_SIM_TIME``
     Simulated flit times per run (default 30000, the paper's horizon).
 ``REPRO_BENCH_PROCS``
-    Worker processes for multi-seed runs (default 1 = serial; seeds are
-    independent, so results are identical at any setting).
+    Worker processes for multi-seed runs (default 1 = serial; ``0`` =
+    one per CPU; seeds are independent, so results are identical at any
+    setting).
 """
 
 from __future__ import annotations
@@ -39,7 +40,7 @@ OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 
 N_SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "3"))
 SIM_TIME = int(os.environ.get("REPRO_BENCH_SIM_TIME", "30000"))
-N_PROCS = int(os.environ.get("REPRO_BENCH_PROCS", "1"))
+N_PROCS = int(os.environ.get("REPRO_BENCH_PROCS", "1")) or (os.cpu_count() or 1)
 WARMUP = 2_000
 
 

@@ -1,0 +1,8 @@
+"""Performance regression harness (see :mod:`benchmarks.perf.run_perf`).
+
+Unlike the table benchmarks (which regenerate paper artifacts and are
+timed incidentally by pytest-benchmark), this package times the canonical
+workloads directly and records the numbers to ``BENCH_PR1.json`` at the
+repo root, so simulator-speed regressions show up as a diff, not a
+feeling.
+"""

@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Time the canonical workloads and write ``BENCH_PR1.json`` at repo root.
+
+Four workloads are timed:
+
+``table1_sim`` / ``table5_sim``
+    The paper's smallest (20 streams, 1 level) and largest (60 streams,
+    15 levels) table configurations, end to end (workload generation,
+    period inflation, flit-level simulation, ratio analysis). Both are
+    timed twice — with the event-driven fast path and with the reference
+    rescan loop (``REPRO_SIM_FASTPATH=0`` equivalent) — and the recorded
+    ``speedup`` is their ratio. Statistics are asserted bit-identical
+    between the two paths before any number is written.
+``feasibility_60``
+    The analysis half alone: delay upper bounds for a 60-stream,
+    15-level workload (no simulation), the paper's primary contribution.
+``paper_example``
+    The section 4.4 worked example script, end to end (stdout discarded).
+
+Environment knobs (shared with the table benchmarks):
+
+* ``REPRO_BENCH_SEEDS``    — seeds averaged per sim workload (default 3);
+* ``REPRO_BENCH_SIM_TIME`` — simulated flit times per run (default 30000);
+* ``REPRO_BENCH_PROCS``    — worker processes (default 1; 0 = one per CPU);
+* ``REPRO_PERF_REPEATS``   — timing repeats, best-of (default 1).
+
+Run:  PYTHONPATH=src python benchmarks/perf/run_perf.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import platform
+import runpy
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+for p in (REPO_ROOT / "src", REPO_ROOT):
+    if str(p) not in sys.path:
+        sys.path.insert(0, str(p))
+
+from repro.analysis.experiments import (  # noqa: E402
+    inflate_periods,
+    run_table_experiment,
+)
+from repro.sim.traffic import PaperWorkload  # noqa: E402
+from repro.topology.mesh import Mesh2D  # noqa: E402
+from repro.topology.routing import XYRouting  # noqa: E402
+
+N_SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "3"))
+SIM_TIME = int(os.environ.get("REPRO_BENCH_SIM_TIME", "30000"))
+REPEATS = int(os.environ.get("REPRO_PERF_REPEATS", "1"))
+WARMUP = 2_000
+OUT_PATH = REPO_ROOT / "BENCH_PR1.json"
+
+
+def _best_of(fn) -> float:
+    """Best-of-N wall time of ``fn`` (minimum filters scheduler noise)."""
+    return min(_timed(fn) for _ in range(max(1, REPEATS)))
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _table_stats_key(result):
+    """Everything the two execution paths must agree on, bit for bit."""
+    st = result.stats
+    return (
+        tuple((sid, st.samples(sid)) for sid in st.stream_ids()),
+        st.unfinished,
+        tuple(sorted(
+            (p, r.mean, r.maximum) for p, r in result.rows.items()
+        )),
+    )
+
+
+def _run_table(name: str, num_streams: int, levels: int, fast: bool):
+    os.environ["REPRO_SIM_FASTPATH"] = "1" if fast else "0"
+    try:
+        return [
+            run_table_experiment(
+                name=f"perf_{name}_seed{seed}",
+                num_streams=num_streams,
+                priority_levels=levels,
+                seed=seed,
+                sim_time=SIM_TIME,
+                warmup=WARMUP,
+            )
+            for seed in range(N_SEEDS)
+        ]
+    finally:
+        os.environ.pop("REPRO_SIM_FASTPATH", None)
+
+
+def bench_table_sim(name: str, num_streams: int, levels: int) -> dict:
+    """Time one table config on both execution paths; assert equivalence."""
+    fast = _best_of(lambda: _run_table(name, num_streams, levels, True))
+    slow = _best_of(lambda: _run_table(name, num_streams, levels, False))
+    fast_results = _run_table(name, num_streams, levels, True)
+    slow_results = _run_table(name, num_streams, levels, False)
+    for fr, sr in zip(fast_results, slow_results):
+        if _table_stats_key(fr) != _table_stats_key(sr):
+            raise AssertionError(
+                f"{name}: fast/slow paths diverged on seed {fr.seed} — "
+                "refusing to record timings for a broken simulator"
+            )
+    return {
+        "seeds": N_SEEDS,
+        "sim_time": SIM_TIME,
+        "fast_seconds": round(fast, 4),
+        "slow_seconds": round(slow, 4),
+        "speedup": round(slow / fast, 3),
+    }
+
+
+def bench_feasibility_60() -> dict:
+    """The analysis pipeline alone on the table-5-sized workload."""
+    mesh = Mesh2D(10, 10)
+    routing = XYRouting(mesh)
+    drawn = PaperWorkload(
+        num_streams=60, priority_levels=15, seed=0
+    ).generate(mesh)
+
+    def run():
+        inflate_periods(drawn, routing)
+
+    return {"seconds": round(_best_of(run), 4)}
+
+
+def bench_paper_example() -> dict:
+    """The section 4.4 worked-example script, stdout discarded."""
+    script = REPO_ROOT / "examples" / "paper_example.py"
+
+    def run():
+        with contextlib.redirect_stdout(io.StringIO()):
+            runpy.run_path(str(script), run_name="__main__")
+
+    return {"seconds": round(_best_of(run), 4)}
+
+
+def main() -> None:
+    report = {
+        "bench": "PR1 perf harness",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "knobs": {
+            "REPRO_BENCH_SEEDS": N_SEEDS,
+            "REPRO_BENCH_SIM_TIME": SIM_TIME,
+            "REPRO_PERF_REPEATS": REPEATS,
+        },
+        "workloads": {},
+    }
+    t0 = time.perf_counter()
+    print("timing table1 sim (fast vs slow path)...")
+    report["workloads"]["table1_sim"] = bench_table_sim("table1", 20, 1)
+    print("timing table5 sim (fast vs slow path)...")
+    report["workloads"]["table5_sim"] = bench_table_sim("table5", 60, 15)
+    print("timing 60-stream feasibility analysis...")
+    report["workloads"]["feasibility_60"] = bench_feasibility_60()
+    print("timing paper worked example...")
+    report["workloads"]["paper_example"] = bench_paper_example()
+    report["total_seconds"] = round(time.perf_counter() - t0, 2)
+
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"[saved to {OUT_PATH}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,9 +14,13 @@ Notes for users:
 
 * the callable must be picklable (a module-level function, not a lambda
   or closure) — pass per-seed parameters through ``functools.partial``;
-* ``processes=None`` uses ``os.cpu_count()``; ``processes=1`` (or a
-  single seed) short-circuits to the serial path with zero overhead,
+* ``processes=None`` uses ``os.cpu_count()``; ``processes=1`` (or zero
+  or one seeds) short-circuits to the serial path with zero overhead,
   which also keeps the code importable on platforms without ``fork``;
+* ``chunksize=None`` picks ``max(1, len(seeds) // (4 * processes))`` —
+  about four waves of tasks per worker, amortising IPC for long seed
+  lists while keeping the pool load-balanced when per-seed runtimes
+  vary (heavily contended workloads simulate slower than idle ones);
 * workers inherit no state: anything a task needs must travel through
   its arguments (seeded RNGs make that trivial here).
 """
@@ -39,17 +43,20 @@ def map_seeds(
     seeds: Sequence[int],
     *,
     processes: Optional[int] = None,
-    chunksize: int = 1,
+    chunksize: Optional[int] = None,
 ) -> List[T]:
     """Run ``fn(seed)`` for every seed, optionally across processes.
 
-    Results are returned in seed order regardless of completion order.
+    Results are returned in seed order regardless of completion order;
+    an empty seed sequence yields an empty list (so callers can sweep
+    parameter grids without special-casing degenerate corners).
     Exceptions raised by any task propagate to the caller (the pool is
-    shut down first).
+    shut down first). ``chunksize=None`` picks
+    ``max(1, len(seeds) // (4 * processes))``.
     """
     seeds = list(seeds)
     if not seeds:
-        raise AnalysisError("map_seeds needs at least one seed")
+        return []
     if processes is None:
         processes = os.cpu_count() or 1
     if processes < 1:
@@ -57,5 +64,9 @@ def map_seeds(
     processes = min(processes, len(seeds))
     if processes == 1:
         return [fn(seed) for seed in seeds]
+    if chunksize is None:
+        chunksize = max(1, len(seeds) // (4 * processes))
+    elif chunksize < 1:
+        raise AnalysisError(f"chunksize must be >= 1, got {chunksize}")
     with ProcessPoolExecutor(max_workers=processes) as pool:
         return list(pool.map(fn, seeds, chunksize=chunksize))

@@ -47,6 +47,21 @@ __all__ = [
 Candidate = Tuple["VirtualChannel", Message]
 
 
+def _preemptive_key(c: Candidate) -> Tuple[int, int, int]:
+    m = c[1]
+    return (m.priority, -m.stream_id, -m.msg_id)
+
+
+def _fcfs_key(c: Candidate) -> Tuple[int, int, int]:
+    m = c[1]
+    return (m.release, m.stream_id, m.msg_id)
+
+
+def _rotation_key(c: Candidate) -> Tuple[int, int]:
+    m = c[1]
+    return (m.stream_id, m.msg_id)
+
+
 class ChannelArbiter(ABC):
     """Selects, per channel and per flit time, the VC that forwards a flit."""
 
@@ -73,10 +88,7 @@ class PriorityPreemptiveArbiter(ChannelArbiter):
     def select(
         self, channel: Channel, candidates: Sequence[Candidate], now: int
     ) -> Candidate:
-        return max(
-            candidates,
-            key=lambda c: (c[1].priority, -c[1].stream_id, -c[1].msg_id),
-        )
+        return max(candidates, key=_preemptive_key)
 
 
 class FCFSArbiter(ChannelArbiter):
@@ -86,10 +98,7 @@ class FCFSArbiter(ChannelArbiter):
     def select(
         self, channel: Channel, candidates: Sequence[Candidate], now: int
     ) -> Candidate:
-        return min(
-            candidates,
-            key=lambda c: (c[1].release, c[1].stream_id, c[1].msg_id),
-        )
+        return min(candidates, key=_fcfs_key)
 
 
 class RoundRobinArbiter(ChannelArbiter):
@@ -109,9 +118,7 @@ class RoundRobinArbiter(ChannelArbiter):
     def select(
         self, channel: Channel, candidates: Sequence[Candidate], now: int
     ) -> Candidate:
-        ordered = sorted(
-            candidates, key=lambda c: (c[1].stream_id, c[1].msg_id)
-        )
+        ordered = sorted(candidates, key=_rotation_key)
         last = self._last.get(channel)
         winner = ordered[0]
         if last is not None:

@@ -13,6 +13,20 @@ outstanding flits but commits no transfer for a long stretch is deadlocked
 or mis-modelled; X-Y routing proves the former impossible, so the watchdog
 guards the latter). Subclasses implement :meth:`_has_work` and
 :meth:`_step`.
+
+Two optional hooks let an event-driven subclass fast-forward *busy-but-
+blocked* stretches, not just idle ones:
+
+* :meth:`_next_event_time` — the earliest future cycle at which the model
+  itself can resume progress without a new release (e.g. a pipelined flit
+  maturing in a router). The kernel jumps the clock to
+  ``min(next release, next internal event)`` whenever :meth:`_has_work`
+  is false.
+* :meth:`_blocked_work` — ``True`` when flits are outstanding even though
+  nothing is currently movable. Fast-forwarded stretches with blocked work
+  count toward the watchdog exactly as if they had been stepped cycle by
+  cycle, so a wedged network raises :class:`DeadlockError` at the same
+  simulated time either way.
 """
 
 from __future__ import annotations
@@ -86,12 +100,27 @@ class SimulationKernel(ABC):
     def _step(self) -> int:
         """Advance the model by one flit time; return transfers committed."""
 
+    def _next_event_time(self) -> Optional[int]:
+        """Earliest future cycle at which the model can resume progress
+        without a new release, or ``None`` when no such internal event is
+        scheduled. Default: none (cycle-by-cycle subclasses)."""
+        return None
+
+    def _blocked_work(self) -> bool:
+        """``True`` when work is outstanding even though :meth:`_has_work`
+        is false (flits parked on wait lists). Default: never."""
+        return False
+
     def run(self, until: int) -> None:
         """Advance the simulation up to and including cycle ``until``.
 
         Releases scheduled at time ``t`` become eligible to move in cycle
-        ``t + 1``. Idle stretches (no buffered flits anywhere) fast-forward
-        to the next release.
+        ``t + 1``. Stretches in which nothing can move — fully idle, or
+        everything blocked/parked — fast-forward to the next release or
+        the next internal event (:meth:`_next_event_time`), whichever is
+        earlier. Skipped cycles with blocked work still feed the watchdog,
+        so deadlocks raise at the same simulated time as a cycle-by-cycle
+        run would.
         """
         if until < self.now:
             raise SimulationError(
@@ -100,20 +129,41 @@ class SimulationKernel(ABC):
         while self.now < until:
             if not self._has_work():
                 nxt = self.next_release()
-                if nxt is None:
-                    # Nothing buffered, nothing pending: jump to the end.
+                internal = self._next_event_time()
+                # First cycle in which either event can cause movement: a
+                # release at t is injected for cycle t + 1; an internal
+                # event at t fires in cycle t itself.
+                target = nxt
+                if internal is not None:
+                    t = internal - 1
+                    target = t if target is None else min(target, t)
+                end = (
+                    until
+                    if target is None or target >= until
+                    else max(target, self.now)
+                )
+                skipped = end - self.now
+                if skipped and self.watchdog_cycles and self._blocked_work():
+                    if self._stall + skipped >= self.watchdog_cycles:
+                        self.now += self.watchdog_cycles - self._stall
+                        self._stall = self.watchdog_cycles
+                        raise DeadlockError(
+                            f"no flit moved for {self._stall} cycles at "
+                            f"t={self.now} with outstanding traffic — "
+                            "deadlock or model error"
+                        )
+                    self._stall += skipped
+                if end >= until:
                     self.now = until
                     break
-                if nxt >= until:
-                    self.now = until
-                    break
-                # First cycle in which the release can move is nxt + 1.
-                self.now = max(self.now, nxt)
+                self.now = end
             self.now += 1
-            self._inject(self._pop_due(self.now - 1))
+            pending = self._pending
+            if pending and pending[0][0] < self.now:
+                self._inject(self._pop_due(self.now - 1))
             moved = self._step()
             if self.watchdog_cycles:
-                if moved == 0 and self._has_work():
+                if moved == 0 and (self._has_work() or self._blocked_work()):
                     self._stall += 1
                     if self._stall >= self.watchdog_cycles:
                         raise DeadlockError(

@@ -48,6 +48,20 @@ class Message:
     delivered: int = 0
     #: Simulation time the tail flit was absorbed (None while in flight).
     finish: Optional[int] = None
+    #: Fast-path cache, filled at injection by the simulator: one
+    #: ``(channel id, downstream target)`` pair per path position, where
+    #: the id indexes the simulator's channel table and the target is the
+    #: VC the hop feeds (or the port's VC pool under ``vc_mode="li"``, or
+    #: ``None`` for the final absorbing hop). Derived from
+    #: ``path``/``priority``/``classes``, shared by all messages of a
+    #: stream, and carries no independent state.
+    hop_cache: Optional[Tuple[Tuple[int, object], ...]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Fast-path cache: the simulator's per-position VC chain for this
+    #: message (also indexed by ``msg_id`` in the simulator; kept here to
+    #: spare a dict lookup per transfer).
+    chain: Optional[list] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.length <= 0:

@@ -28,10 +28,24 @@ against *pre-cycle* occupancy (no intra-cycle flow-through), so a depth of 1
 would insert a bubble every other cycle and break the paper's latency model,
 while depth 2 sustains full pipelining. This is a documented modelling
 choice, equivalent to single-flit buffers with flow-through crediting.
+
+Execution strategy: the simulator keeps a *movable* set — VCs whose head
+flit could plausibly move this cycle — distinct from the set of VCs merely
+holding flits. A header that finds its downstream VC occupied (or its
+allocated VC full) is parked on a per-VC wait list and woken only when that
+VC frees or pops a flit, so blocked and idle VCs cost zero per-cycle work;
+per-message channel tuples and downstream VC targets are precomputed at
+injection. Cycle-for-cycle results are identical to the straightforward
+rescan-everything loop, which remains available as an escape hatch via
+``REPRO_SIM_FASTPATH=0`` (or ``fastpath=False``) and is pinned to the fast
+path by ``tests/test_fastpath_equivalence.py``.
 """
 
 from __future__ import annotations
 
+import heapq
+import os
+from collections import Counter
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.streams import MessageStream, StreamSet
@@ -88,6 +102,11 @@ class WormholeSimulator(SimulationKernel):
         statistics (the paper discards a 2000-flit-time start-up).
     watchdog_cycles:
         Forwarded to :class:`~repro.sim.engine.SimulationKernel`.
+    fastpath:
+        Use the event-driven movable-set cycle body (default). ``False``
+        selects the reference rescan-everything loop; ``None`` reads the
+        ``REPRO_SIM_FASTPATH`` environment variable (``0`` disables).
+        Both paths produce bit-identical statistics.
     """
 
     def __init__(
@@ -104,6 +123,7 @@ class WormholeSimulator(SimulationKernel):
         watchdog_cycles: int = 50_000,
         trace: Optional["TraceRecorder"] = None,
         gantt: Optional["GanttRecorder"] = None,
+        fastpath: Optional[bool] = None,
     ):
         super().__init__(watchdog_cycles=watchdog_cycles)
         if vc_mode not in VC_MODES:
@@ -129,8 +149,25 @@ class WormholeSimulator(SimulationKernel):
         self.stats = StatsCollector(warmup=warmup)
         self.trace = trace
         self.gantt = gantt
-        #: Committed flit transfers per directed channel (for utilization).
-        self.channel_transfers: Dict[Channel, int] = {}
+        if fastpath is None:
+            fastpath = os.environ.get("REPRO_SIM_FASTPATH", "1") not in (
+                "0", "false", "no", "off",
+            )
+        #: Whether the event-driven cycle body is in use (see module doc).
+        self.fastpath = bool(fastpath)
+
+        #: Directed channels numbered densely *in sorted order*, so that
+        #: sorting by channel id and sorting by channel tuple agree (the
+        #: commit loop visits channels in this canonical order on both
+        #: paths — see _step_fast). Transfer counts live in a flat list
+        #: indexed by channel id (int indexing beats tuple hashing in the
+        #: hot loop); ``channel_transfers`` re-materialises the public
+        #: Counter view on demand.
+        self._chan_list: List[Channel] = sorted(topology.channels())
+        self._chan_id: Dict[Channel, int] = {
+            ch: i for i, ch in enumerate(self._chan_list)
+        }
+        self._transfer_counts: List[int] = [0] * len(self._chan_list)
 
         for s in streams:
             topology.validate_node(s.src)
@@ -161,8 +198,26 @@ class WormholeSimulator(SimulationKernel):
                 n, tuple(upstream[n]), self.num_vcs, vc_capacity
             )
 
-        #: VCs holding at least one buffered flit.
+        #: VCs holding at least one buffered flit (reference path only;
+        #: the fast path tracks `_movable` + wait lists instead).
         self._active: Set[VirtualChannel] = set()
+        #: Fast path: VCs whose head flit may move this cycle.
+        self._movable: Set[VirtualChannel] = set()
+        #: Fast path: upstream VCs waiting for the key VC to be released
+        #: (blocked headers; woken by tail pop / kill of the key VC).
+        self._wait_free: Dict[VirtualChannel, List[VirtualChannel]] = {}
+        #: Fast path: the (unique) upstream VC waiting for the key VC to
+        #: regain buffer space (woken by any flit pop from the key VC).
+        self._wait_space: Dict[VirtualChannel, VirtualChannel] = {}
+        #: Fast path: (ready_time, seq, vc) heap of parked heads that are
+        #: waiting out the router pipeline (hop_delay > 1 only).
+        self._ready_heap: List[Tuple[int, int, VirtualChannel]] = []
+        self._ready_seq = 0
+        #: stream_id -> per-position (channel id, downstream target)
+        #: pairs, computed once per stream, attached at injection.
+        self._hopinfo: Dict[
+            int, Tuple[Tuple[int, object], ...]
+        ] = {}
         #: msg_id -> per-path-position VC chain (index 0 = injection VC).
         self._chains: Dict[int, List[Optional[VirtualChannel]]] = {}
         self._next_msg_id = 0
@@ -175,6 +230,9 @@ class WormholeSimulator(SimulationKernel):
         self.retransmissions = 0
         #: Total committed flit transfers (includes absorptions).
         self.total_transfers = 0
+        # Bind the cycle body once; the instance attribute shadows the
+        # dispatching class method, sparing a call layer per cycle.
+        self._step = self._step_fast if self.fastpath else self._step_slow
 
     # ------------------------------------------------------------------ #
     # Injection
@@ -213,23 +271,61 @@ class WormholeSimulator(SimulationKernel):
             self.trace.on_release(time, msg)
         return msg
 
+    def _hop_info(
+        self, msg: Message
+    ) -> Tuple[Tuple[int, object], ...]:
+        """Per-stream hop cache: for each path position, the id of the
+        channel crossed and the downstream VC it feeds (``None`` for the
+        absorbing hop; the whole port VC pool under ``vc_mode="li"``,
+        whose choice is dynamic)."""
+        info = self._hopinfo.get(msg.stream_id)
+        if info is None:
+            path = msg.path
+            pairs: List[Tuple[int, object]] = []
+            for i in range(len(path) - 1):
+                u, v = path[i], path[i + 1]
+                if v == msg.dst:
+                    tgt: object = None
+                elif self.vc_mode == "li":
+                    tgt = self._routers[v].ports[u]
+                else:
+                    tgt = self._routers[v].vc(
+                        u,
+                        self._vc_index_for(msg.priority, msg.vc_class(i)),
+                    )
+                pairs.append((self._chan_id[(u, v)], tgt))
+            info = tuple(pairs)
+            self._hopinfo[msg.stream_id] = info
+        return info
+
     def _inject(self, payloads: List[object]) -> None:
+        fast = self.fastpath
         for msg in payloads:
             assert isinstance(msg, Message)
             vc = self._routers[msg.src].vc(
                 INJECTION_PORT, self._vc_index_for(msg.priority)
             )
+            if fast and msg.hop_cache is None:
+                msg.hop_cache = self._hop_info(msg)
             vc.enqueue_message(msg)
-            self._chains[msg.msg_id] = [None] * len(msg.path)
+            chain: List[Optional[VirtualChannel]] = [None] * len(msg.path)
+            msg.chain = chain
+            self._chains[msg.msg_id] = chain
             if vc.owner is msg:
-                self._chains[msg.msg_id][0] = vc
+                chain[0] = vc
                 if self.hop_delay > 1:
                     # Injection pipeline: the header may not leave before
                     # release + hop_delay.
                     vc.ready.append(msg.release + self.hop_delay)
+                if fast:
+                    # Newly promoted owner: the VC was free before, so it
+                    # is tracked nowhere and must (re)enter the movable
+                    # set. If another message owns the VC, its state is
+                    # unaffected by a queue append.
+                    self._movable.add(vc)
             self._in_flight.add(msg.msg_id)
             self._messages[msg.msg_id] = msg
-            if vc.count > 0:
+            if not fast and vc.count > 0:
                 self._active.add(vc)
 
     # ------------------------------------------------------------------ #
@@ -237,7 +333,24 @@ class WormholeSimulator(SimulationKernel):
     # ------------------------------------------------------------------ #
 
     def _has_work(self) -> bool:
-        return bool(self._active)
+        return bool(self._movable if self.fastpath else self._active)
+
+    def _next_event_time(self) -> Optional[int]:
+        """Earliest parked head-ready time (fast path, hop_delay > 1).
+
+        Lazily drops entries whose VC was emptied by a kill since parking.
+        """
+        heap = self._ready_heap
+        while heap:
+            t, _, vc = heap[0]
+            if vc.owner is None or vc.count == 0:
+                heapq.heappop(heap)
+                continue
+            return t
+        return None
+
+    def _blocked_work(self) -> bool:
+        return bool(self._in_flight)
 
     def _downstream_target(
         self, msg: Message, position: int
@@ -272,6 +385,226 @@ class WormholeSimulator(SimulationKernel):
         return None
 
     def _step(self) -> int:
+        if self.fastpath:
+            return self._step_fast()
+        return self._step_slow()
+
+    def _step_fast(self) -> int:
+        """Event-driven cycle body: identical semantics to
+        :meth:`_step_slow`, but only *movable* VCs are examined.
+
+        Phase 1 walks the movable set, parking anything blocked — on the
+        downstream VC's wait list (woken when that VC frees or pops) or on
+        the head-ready heap (router pipeline). Phase 2 commits one flit per
+        contended channel with the pop/push bookkeeping inlined, waking
+        parked VCs as the events they wait for occur. Wait entries are
+        hints, not state: phase 1 re-validates every woken VC against the
+        actual pre-cycle occupancy, so spurious wakes are harmless and
+        the two paths stay cycle-for-cycle identical.
+        """
+        now = self.now
+        movable = self._movable
+        heap = self._ready_heap
+        while heap and heap[0][0] <= now:
+            vc = heapq.heappop(heap)[2]
+            if vc.count and vc.owner is not None:
+                movable.add(vc)
+
+        wait_free = self._wait_free
+        wait_space = self._wait_space
+        chains = self._chains
+        li = self.vc_mode == "li"
+        kill = self.vc_mode == "preempt_kill"
+        last_vc = self.num_vcs - 1
+        hop_delay = self.hop_delay
+        deep = hop_delay > 1
+
+        # Phase 1: candidate collection against pre-cycle state. A wants
+        # entry (keyed by channel id) is a bare VC until a second
+        # candidate contends for the channel, at which point it becomes a
+        # ``(vc, msg)`` list for the arbiter (owners are stable until the
+        # channel commits, so deferred ``.owner`` reads match pre-cycle
+        # state).
+        wants: Dict[int, object] = {}
+        for vc in list(movable):
+            if vc.count == 0:
+                # Emptied, drained or released since it was woken
+                # (release always zeroes the count, so this covers all).
+                movable.discard(vc)
+                continue
+            msg = vc.owner
+            if deep:
+                ready = vc.ready
+                if ready and ready[0] > now:
+                    movable.discard(vc)
+                    self._ready_seq += 1
+                    heapq.heappush(heap, (ready[0], self._ready_seq, vc))
+                    continue
+            cid, tgt = msg.hop_cache[vc.position]
+            if tgt is not None:
+                if li:
+                    dvc = chains[msg.msg_id][vc.position + 1]
+                    if dvc is not None:
+                        if dvc.count >= dvc.capacity:
+                            movable.discard(vc)
+                            wait_space[dvc] = vc
+                            continue
+                    else:
+                        bound = min(self._prio_rank[msg.priority], last_vc)
+                        for i in range(bound, -1, -1):
+                            if tgt[i].owner is None:
+                                break
+                        else:
+                            movable.discard(vc)
+                            for i in range(bound, -1, -1):
+                                wait_free.setdefault(tgt[i], []).append(vc)
+                            continue
+                else:
+                    towner = tgt.owner
+                    if towner is msg:
+                        if tgt.count >= tgt.capacity:
+                            movable.discard(vc)
+                            wait_space[tgt] = vc
+                            continue
+                    elif towner is not None:
+                        movable.discard(vc)
+                        waiters = wait_free.get(tgt)
+                        if waiters is None:
+                            wait_free[tgt] = [vc]
+                        else:
+                            waiters.append(vc)
+                        if kill and towner.priority < msg.priority:
+                            self._kill_pending.add(towner.msg_id)
+                        continue
+            cur = wants.setdefault(cid, vc)
+            if cur is not vc:
+                if type(cur) is list:
+                    cur.append((vc, msg))
+                else:
+                    wants[cid] = [(cur, cur.owner), (vc, msg)]
+
+        # Phase 2: arbitrate and commit one flit per contended channel.
+        # Commit order is immaterial in every mode but "li": each VC
+        # appears in exactly one channel's candidates and downstream
+        # targets are keyed by input port, so commits are independent.
+        # Under vc_mode="li", however, the allocation re-scan reads the
+        # port pool's *current* owners, so a tail release committed
+        # earlier in the same cycle can change which VC index a later
+        # header picks — there (and only there) channels commit in
+        # canonical sorted order, pinning both execution paths (and
+        # re-runs under hash randomisation) to identical results.
+        # VCs that end the cycle drained (released tails, mid-worm
+        # bubbles) are *not* discarded from the movable set here — the
+        # count == 0 test at the top of phase 1 reclaims them next cycle,
+        # which costs less than the discard/re-add churn of a streaming
+        # worm whose buffer empties and refills every cycle.
+        moved = 0
+        tcounts = self._transfer_counts
+        chan_list = self._chan_list
+        trace = self.trace
+        gantt = self.gantt
+        select = self.arbiter.select
+        record = self.stats.record
+        for cid, cand in sorted(wants.items()) if li else wants.items():
+            if type(cand) is list:
+                vc, msg = select(chan_list[cid], cand, now)
+            else:
+                vc = cand
+                msg = vc.owner
+            pos = vc.position
+            if trace is not None and vc.is_injection and vc.sent == 0:
+                trace.on_first_flit(now, msg)
+            # Inlined VirtualChannel.pop_flit plus wake bookkeeping.
+            count = vc.count - 1
+            sent = vc.sent + 1
+            vc.count = count
+            vc.sent = sent
+            if deep and vc.ready:
+                vc.ready.popleft()
+            if sent == msg.length:
+                # Tail left: release the VC, wake blocked headers.
+                vc.owner = None
+                vc.count = 0
+                vc.received = 0
+                vc.sent = 0
+                if deep:
+                    vc.ready.clear()
+                if wait_free:
+                    waiters = wait_free.pop(vc, None)
+                    if waiters:
+                        movable.update(waiters)
+                if wait_space:
+                    waiter = wait_space.pop(vc, None)
+                    if waiter is not None:
+                        movable.add(waiter)
+                if vc.queue:
+                    # Injection VC (only they queue): promote the next
+                    # message; it re-allocates at position 0 — the same
+                    # value ``pos`` read above, so the push branch below
+                    # is unaffected.
+                    vc._promote()
+                    promoted = vc.owner
+                    promoted.chain[0] = vc
+                    if deep:
+                        vc.ready.append(
+                            max(promoted.release + hop_delay, now + 1)
+                        )
+                    # vc keeps its movable slot for the promoted owner.
+            elif wait_space:
+                waiter = wait_space.pop(vc, None)
+                if waiter is not None:
+                    movable.add(waiter)
+            tcounts[cid] += 1
+            if gantt is not None:
+                gantt.on_transfer(now, chan_list[cid], msg)
+            tgt = msg.hop_cache[pos][1]
+            if tgt is None:
+                # Absorbing hop: the flit arrived at the destination.
+                msg.delivered += 1
+                if msg.delivered == msg.length:
+                    msg.finish = now
+                    record(msg)
+                    if trace is not None:
+                        trace.on_finish(now, msg)
+                    self._in_flight.discard(msg.msg_id)
+                    self._messages.pop(msg.msg_id, None)
+                    del chains[msg.msg_id]
+            else:
+                chain = msg.chain
+                dvc = chain[pos + 1]
+                if dvc is None:
+                    if li:
+                        bound = min(self._prio_rank[msg.priority], last_vc)
+                        for i in range(bound, -1, -1):
+                            if tgt[i].owner is None:
+                                dvc = tgt[i]
+                                break
+                        if dvc is None:  # pragma: no cover - defensive
+                            raise SimulationError(
+                                "downstream VC vanished between phases"
+                            )
+                    else:
+                        dvc = tgt
+                    dvc.allocate(msg, pos + 1)
+                    chain[pos + 1] = dvc
+                # Inlined VirtualChannel.push_flit (``received`` is not
+                # maintained here: nothing on the fast path reads it and
+                # allocate/release reset it).
+                dcount = dvc.count
+                if dcount == 0:
+                    movable.add(dvc)
+                dvc.count = dcount + 1
+                if deep:
+                    dvc.ready.append(now + hop_delay)
+            moved += 1
+        self.total_transfers += moved
+        if self._kill_pending:
+            for victim_id in sorted(self._kill_pending):
+                self._kill_message(victim_id)
+            self._kill_pending.clear()
+        return moved
+
+    def _step_slow(self) -> int:
         # Phase 1: per-channel candidate collection (pre-cycle state only).
         wants: Dict[Channel, List[Tuple[VirtualChannel, Message]]] = {}
         for vc in self._active:
@@ -287,9 +620,16 @@ class WormholeSimulator(SimulationKernel):
                     continue
             wants.setdefault((msg.path[pos], v), []).append((vc, msg))
 
-        # Phase 2: arbitrate and commit one flit per contended channel.
+        # Phase 2: arbitrate and commit one flit per contended channel —
+        # under vc_mode="li" in canonical (sorted channel) order; see the
+        # commit-order note in _step_fast. Both paths must pick the same
+        # order there or they can diverge on which VC index a header
+        # allocates.
         moved = 0
-        for channel, candidates in wants.items():
+        commits = (
+            sorted(wants.items()) if self.vc_mode == "li" else wants.items()
+        )
+        for channel, candidates in commits:
             if len(candidates) == 1:
                 vc, msg = candidates[0]
             else:
@@ -300,9 +640,7 @@ class WormholeSimulator(SimulationKernel):
             assert sender is msg
             if self.trace is not None and was_first:
                 self.trace.on_first_flit(self.now, msg)
-            self.channel_transfers[channel] = (
-                self.channel_transfers.get(channel, 0) + 1
-            )
+            self._transfer_counts[self._chan_id[channel]] += 1
             if self.gantt is not None:
                 self.gantt.on_transfer(self.now, channel, msg)
             if vc.count == 0:
@@ -365,12 +703,24 @@ class WormholeSimulator(SimulationKernel):
         victim = self._messages.pop(msg_id, None)
         if victim is None:
             return  # finished in this very cycle
+        fast = self.fastpath
         chain = self._chains.pop(msg_id)
         for vc in chain:
             if vc is None or vc.owner is not victim:
                 continue
             vc.force_release()
-            self._active.discard(vc)
+            if fast:
+                self._movable.discard(vc)
+                # The freed VC may have blocked headers parked on it —
+                # this wake is exactly the preemption the kill exists for.
+                waiters = self._wait_free.pop(vc, None)
+                if waiters:
+                    self._movable.update(waiters)
+                waiter = self._wait_space.pop(vc, None)
+                if waiter is not None:
+                    self._movable.add(waiter)
+            else:
+                self._active.discard(vc)
             if vc.is_injection:
                 promoted = vc.promote_queued()
                 if promoted is not None:
@@ -380,7 +730,10 @@ class WormholeSimulator(SimulationKernel):
                             max(promoted.release + self.hop_delay,
                                 self.now + 1)
                         )
-                    self._active.add(vc)
+                    if fast:
+                        self._movable.add(vc)
+                    else:
+                        self._active.add(vc)
         self._in_flight.discard(msg_id)
         self.retransmissions += 1
 
@@ -401,15 +754,21 @@ class WormholeSimulator(SimulationKernel):
         inj = self._routers[clone.src].vc(
             INJECTION_PORT, self._vc_index_for(clone.priority)
         )
+        if fast:
+            clone.hop_cache = victim.hop_cache
         inj.enqueue_message(clone)
-        self._chains[clone.msg_id] = [None] * len(clone.path)
+        chain: List[Optional[VirtualChannel]] = [None] * len(clone.path)
+        clone.chain = chain
+        self._chains[clone.msg_id] = chain
         if inj.owner is clone:
-            self._chains[clone.msg_id][0] = inj
+            chain[0] = inj
             if self.hop_delay > 1:
                 inj.ready.append(self.now + self.hop_delay)
+            if fast:
+                self._movable.add(inj)
         self._in_flight.add(clone.msg_id)
         self._messages[clone.msg_id] = clone
-        if inj.count > 0:
+        if not fast and inj.count > 0:
             self._active.add(inj)
 
     # ------------------------------------------------------------------ #
@@ -459,6 +818,19 @@ class WormholeSimulator(SimulationKernel):
                 self.run(min(self.now + 1024, deadline))
         self.stats.unfinished = len(self._in_flight)
         return self.stats
+
+    @property
+    def channel_transfers(self) -> Counter:
+        """Committed flit transfers per directed channel (for utilization).
+
+        Built on demand from the flat per-channel-id counters; channels
+        that never carried a flit are omitted (Counter semantics return 0
+        for them anyway).
+        """
+        chan_list = self._chan_list
+        return Counter(
+            {chan_list[i]: n for i, n in enumerate(self._transfer_counts) if n}
+        )
 
     def link_utilization(self) -> Dict[Channel, float]:
         """Return per-channel utilization (transfers / elapsed flit times).

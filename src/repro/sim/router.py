@@ -52,6 +52,7 @@ class VirtualChannel:
         "port",
         "index",
         "capacity",
+        "is_injection",
         "owner",
         "count",
         "received",
@@ -65,6 +66,8 @@ class VirtualChannel:
         self.node = node
         self.port = port
         self.index = index
+        #: Plain attribute (not a property): read on every hot-loop pass.
+        self.is_injection = port == INJECTION_PORT
         #: Max buffered flits; ``None`` = unbounded (injection VCs).
         self.capacity = capacity
         self.owner: Optional[Message] = None
@@ -83,10 +86,6 @@ class VirtualChannel:
         self.ready: Deque[int] = deque()
 
     # ------------------------------------------------------------------ #
-
-    @property
-    def is_injection(self) -> bool:
-        return self.port == INJECTION_PORT
 
     @property
     def free(self) -> bool:

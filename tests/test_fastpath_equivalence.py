@@ -1,0 +1,162 @@
+"""The fast path's contract: cycle-for-cycle identical to the reference.
+
+The event-driven cycle body (movable set + wait lists,
+:meth:`WormholeSimulator._step_fast`) exists purely for speed; every
+observable — per-stream delay samples, per-channel transfer counts,
+delivery times, retransmissions, the clock itself — must match the
+rescan-everything reference loop (``fastpath=False``) bit for bit.
+These tests pin that contract across every arbiter policy, every VC
+mode, shallow and deep VC buffers, pipelined routers and tracing.
+"""
+
+import os
+
+import pytest
+
+from repro.core.streams import MessageStream, StreamSet
+from repro.sim.arbiter import (
+    FCFSArbiter,
+    PriorityPreemptiveArbiter,
+    RoundRobinArbiter,
+)
+from repro.sim.network import WormholeSimulator
+from repro.sim.trace import TraceRecorder
+from repro.topology.mesh import Mesh2D
+from repro.topology.routing import XYRouting
+
+ARBITERS = {
+    "preemptive": PriorityPreemptiveArbiter,
+    "fcfs": FCFSArbiter,
+    "rr": RoundRobinArbiter,
+}
+
+SEEDS = (0, 1, 2)
+
+
+def _workload(seed: int, n: int = 24, nodes: int = 16) -> StreamSet:
+    """A deterministic contended workload on the 4x4 mesh."""
+    import random
+
+    rng = random.Random(seed)
+    streams = []
+    for i in range(n):
+        src = rng.randrange(nodes)
+        dst = rng.randrange(nodes)
+        while dst == src:
+            dst = rng.randrange(nodes)
+        period = rng.randint(40, 160)
+        streams.append(MessageStream(
+            stream_id=i, src=src, dst=dst,
+            priority=rng.randint(1, 5), period=period,
+            length=rng.randint(2, 12), deadline=period,
+        ))
+    return StreamSet(streams)
+
+
+def _run(seed, *, fastpath, vc_mode="per_priority", arbiter=None,
+         vc_capacity=2, hop_delay=1, traced=False, until=4000):
+    mesh = Mesh2D(4, 4)
+    trace = TraceRecorder() if traced else None
+    sim = WormholeSimulator(
+        mesh, XYRouting(mesh), _workload(seed),
+        arbiter=(arbiter or PriorityPreemptiveArbiter)(),
+        vc_mode=vc_mode, vc_capacity=vc_capacity, hop_delay=hop_delay,
+        warmup=0, trace=trace, fastpath=fastpath,
+    )
+    stats = sim.simulate_streams(until)
+    return sim, stats, trace
+
+
+def _observables(sim, stats, trace):
+    """Everything the two paths must agree on, bit for bit."""
+    key = (
+        tuple((sid, stats.samples(sid)) for sid in stats.stream_ids()),
+        tuple(sorted(sim.channel_transfers.items())),
+        sim.total_transfers,
+        sim.retransmissions,
+        stats.unfinished,
+        sim.now,
+    )
+    if trace is not None:
+        key += (tuple(
+            (t.msg_id, t.stream_id, t.release, t.first_flit, t.finish)
+            for _, t in sorted(trace._traces.items())
+        ),)
+    return key
+
+
+def _assert_paths_agree(seed, **kwargs):
+    fast = _observables(*_run(seed, fastpath=True, **kwargs))
+    slow = _observables(*_run(seed, fastpath=False, **kwargs))
+    assert fast == slow
+
+
+class TestArbiterPolicies:
+    """All three arbiter policies, paper VC mode, three seeds."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("arb", sorted(ARBITERS))
+    def test_identical(self, seed, arb):
+        _assert_paths_agree(seed, arbiter=ARBITERS[arb])
+
+
+class TestVcModes:
+    """Every VC organisation, including the kill-and-retransmit mode."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize(
+        "mode", ["per_priority", "single", "li", "preempt_kill"]
+    )
+    def test_identical(self, seed, mode):
+        _assert_paths_agree(seed, vc_mode=mode)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_preempt_kill_retransmits_identically(self, seed):
+        fast = _run(seed, fastpath=True, vc_mode="preempt_kill")
+        slow = _run(seed, fastpath=False, vc_mode="preempt_kill")
+        assert fast[0].retransmissions == slow[0].retransmissions
+        assert _observables(*fast) == _observables(*slow)
+
+
+class TestBufferDepthAndPipeline:
+    """VC depth 1 (bubbly) and 4 (deep), pipelined routers."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("cap", [1, 4])
+    def test_vc_capacity(self, seed, cap):
+        _assert_paths_agree(seed, vc_capacity=cap)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("hop_delay", [2, 3])
+    def test_pipelined_routers(self, seed, hop_delay):
+        _assert_paths_agree(seed, hop_delay=hop_delay)
+
+
+class TestTracing:
+    """Trace events (release/first-flit/finish) must line up too."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_traced_run_identical(self, seed):
+        _assert_paths_agree(seed, traced=True)
+
+    def test_traced_kill_mode_identical(self):
+        _assert_paths_agree(0, traced=True, vc_mode="preempt_kill")
+
+
+class TestEscapeHatch:
+    """`REPRO_SIM_FASTPATH` and the constructor flag select the path."""
+
+    def test_env_var_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", "0")
+        sim, _, _ = _run(0, fastpath=None)
+        assert sim.fastpath is False
+
+    def test_env_var_default_enables(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_FASTPATH", raising=False)
+        sim, _, _ = _run(0, fastpath=None)
+        assert sim.fastpath is True
+
+    def test_flag_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", "0")
+        sim, _, _ = _run(0, fastpath=True)
+        assert sim.fastpath is True

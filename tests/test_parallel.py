@@ -34,13 +34,29 @@ class TestMapSeeds:
     def test_single_seed_short_circuits(self):
         assert map_seeds(square, [5], processes=4) == [25]
 
-    def test_empty_rejected(self):
-        with pytest.raises(AnalysisError):
-            map_seeds(square, [])
+    def test_empty_returns_empty(self):
+        assert map_seeds(square, []) == []
+
+    def test_empty_ignores_bad_knobs(self):
+        # Empty input short-circuits before the pool is configured.
+        assert map_seeds(square, [], processes=8, chunksize=999) == []
 
     def test_bad_processes_rejected(self):
         with pytest.raises(AnalysisError):
             map_seeds(square, [1], processes=0)
+
+    def test_bad_chunksize_rejected(self):
+        with pytest.raises(AnalysisError):
+            map_seeds(square, [1, 2], processes=2, chunksize=0)
+
+    def test_explicit_chunksize_keeps_order(self):
+        out = map_seeds(square, list(range(10)), processes=2, chunksize=3)
+        assert out == [s * s for s in range(10)]
+
+    def test_default_chunksize_keeps_order(self):
+        # 40 seeds / (4 waves * 2 workers) -> chunks of 5; order must hold.
+        out = map_seeds(square, list(range(40)), processes=2)
+        assert out == [s * s for s in range(40)]
 
     def test_exceptions_propagate(self):
         def boom(seed):
