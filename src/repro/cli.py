@@ -22,6 +22,16 @@ Commands
              "priority": 5, "period": 150, "length": 4, "deadline": 150}
           ]
         }
+
+    Exit codes: 0 feasible, 1 infeasible, 2 invalid problem, 3 malformed
+    JSON, 4 missing file.
+``fuzz``
+    Differential soundness fuzzing (see :mod:`repro.fuzz`): random
+    workloads through analysis and simulator, invariant cross-checks,
+    counterexample shrinking and replay. ``--replay FILE`` re-runs a
+    stored counterexample; ``--self-test`` proves the harness against an
+    injected bound perturbation. Exit 0 iff no violation (for
+    ``--replay``: iff the counterexample still reproduces, exit 1).
 """
 
 from __future__ import annotations
@@ -74,6 +84,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("file", help="JSON problem description")
     p_check.add_argument("--out", default=None,
                          help="write the report as JSON to this path")
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential soundness fuzzing (analysis vs simulator)"
+    )
+    p_fuzz.add_argument("--seeds", type=int, default=100,
+                        help="number of random cases (default 100)")
+    p_fuzz.add_argument("--seed0", type=int, default=0,
+                        help="first seed (default 0)")
+    p_fuzz.add_argument("--mesh", default="4x4", metavar="WxH",
+                        help="mesh size, e.g. 4x4 (default)")
+    p_fuzz.add_argument("--max-streams", type=int, default=8,
+                        help="stream-count ceiling per case (default 8)")
+    p_fuzz.add_argument("--sim-time", type=int, default=2_500,
+                        help="simulated slots per case (default 2500)")
+    p_fuzz.add_argument("--jobs", type=int, default=0,
+                        help="worker processes; 0 = one per CPU, 1 = serial")
+    p_fuzz.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="soft wall-clock cap; stop starting new batches")
+    p_fuzz.add_argument("--corpus", default="fuzz-corpus",
+                        help="directory for shrunk counterexamples "
+                             "(default fuzz-corpus/)")
+    p_fuzz.add_argument("--residency-margin", type=int, default=1,
+                        help="analysis residency margin (default 1; "
+                             "0 = the paper's unsound original)")
+    p_fuzz.add_argument("--replay", metavar="FILE", default=None,
+                        help="re-run one stored counterexample and exit")
+    p_fuzz.add_argument("--self-test", action="store_true",
+                        help="prove the harness catches an injected "
+                             "bound perturbation end to end")
 
     return parser
 
@@ -152,7 +192,14 @@ def _run_inversion() -> int:
 def _run_check(path: str, out: Optional[str] = None) -> int:
     from .io import load_problem, report_to_spec
 
-    topology, routing, streams = load_problem(path)
+    try:
+        topology, routing, streams = load_problem(path)
+    except FileNotFoundError:
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 4
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 3
     report = FeasibilityAnalyzer(streams, routing).determine_feasibility()
     if out:
         import pathlib
@@ -166,6 +213,67 @@ def _run_check(path: str, out: Optional[str] = None) -> int:
               f"D={verdict.stream.deadline:>5}  {mark}")
     print("feasible" if report.success else "infeasible")
     return 0 if report.success else 1
+
+
+def _parse_mesh(text: str) -> tuple:
+    try:
+        w, h = text.lower().split("x")
+        width, height = int(w), int(h)
+    except ValueError:
+        raise ReproError(
+            f"--mesh wants WxH (e.g. 4x4), got {text!r}"
+        ) from None
+    if width < 2 or height < 1:
+        raise ReproError(f"mesh {width}x{height} is too small to route on")
+    return width, height
+
+
+def _run_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import (
+        GeneratorConfig,
+        replay,
+        run_fuzz_campaign,
+        run_self_test,
+    )
+
+    if args.replay is not None:
+        try:
+            result = replay(args.replay)
+        except FileNotFoundError:
+            print(f"error: no such file: {args.replay}", file=sys.stderr)
+            return 4
+        except json.JSONDecodeError as exc:
+            print(f"error: {args.replay} is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return 3
+        print(result.summary())
+        return 1 if result.reproduced else 0
+
+    width, height = _parse_mesh(args.mesh)
+    cfg = GeneratorConfig(
+        width=width,
+        height=height,
+        max_streams=args.max_streams,
+        sim_time=args.sim_time,
+        residency_margin=args.residency_margin,
+    )
+    if args.self_test:
+        ok, text = run_self_test(
+            corpus_dir=args.corpus, generator=cfg, jobs=args.jobs
+        )
+        print(text)
+        return 0 if ok else 1
+
+    report = run_fuzz_campaign(
+        seeds=args.seeds,
+        seed0=args.seed0,
+        generator=cfg,
+        jobs=args.jobs,
+        time_budget=args.time_budget,
+        corpus_dir=args.corpus,
+    )
+    print(report.summary())
+    return 0 if report.sound else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -182,6 +290,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_inversion()
         if args.command == "check":
             return _run_check(args.file, args.out)
+        if args.command == "fuzz":
+            return _run_fuzz(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

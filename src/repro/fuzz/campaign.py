@@ -1,0 +1,293 @@
+"""Campaign runner: fan seeds out, collect violations, shrink, persist.
+
+A campaign is ``N`` independent seeds, each expanded to a case
+(:mod:`repro.fuzz.generator`) and run through the differential oracle
+(:mod:`repro.fuzz.oracle`). Seeds fan out over
+:func:`repro.analysis.parallel.map_seeds` in batches, so campaigns can be
+time-boxed (the nightly CI job) without giving up process-level
+parallelism; per-seed results are bit-identical to a serial run.
+
+Violating cases are shrunk (:mod:`repro.fuzz.shrink`) and written to the
+corpus (:mod:`repro.fuzz.corpus`) in the parent process — violations are
+rare, so the serial shrink cost is irrelevant next to the fanned-out
+search.
+
+:func:`run_self_test` is the harness's own canary: it injects a bound
+perturbation (``bound_delta``), asserts the campaign catches it, shrinks
+the counterexample, writes it to the corpus and replays it through the
+public replay path. A harness that cannot catch a *known-broken* analysis
+proves nothing about a sound one.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.parallel import map_seeds
+from ..errors import AnalysisError
+from .corpus import counterexample_spec, replay, write_counterexample
+from .generator import FuzzCase, GeneratorConfig, generate_case
+from .oracle import FuzzViolation, run_case
+from .shrink import shrink_case
+
+__all__ = [
+    "SeedOutcome",
+    "FuzzReport",
+    "run_fuzz_campaign",
+    "run_self_test",
+]
+
+
+@dataclass(frozen=True)
+class SeedOutcome:
+    """Per-seed digest returned from the worker processes."""
+
+    seed: int
+    preset: str
+    num_streams: int
+    admitted: int
+    checked: int
+    violation_kinds: Tuple[str, ...]
+    violations: Tuple[FuzzViolation, ...]
+    #: Serialised case, present only when the seed violated (keeps IPC thin).
+    case_spec: Optional[Dict[str, Any]] = None
+
+
+def _run_one_seed(seed: int, cfg: GeneratorConfig) -> SeedOutcome:
+    """Worker body: generate one case and run the oracle (picklable)."""
+    case = generate_case(seed, cfg)
+    result = run_case(case)
+    return SeedOutcome(
+        seed=seed,
+        preset=case.preset,
+        num_streams=len(case.streams),
+        admitted=len(result.admitted),
+        checked=sum(1 for sid in result.admitted
+                    if sid in result.max_observed),
+        violation_kinds=result.kinds(),
+        violations=result.violations,
+        case_spec=case.to_spec() if result.violations else None,
+    )
+
+
+@dataclass(frozen=True)
+class CounterexampleRecord:
+    """One shrunk-and-persisted counterexample."""
+
+    seed: int
+    kinds: Tuple[str, ...]
+    path: Optional[str]
+    streams_before: int
+    streams_after: int
+    shrink_evals: int
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """Outcome of one fuzz campaign."""
+
+    seeds_run: int
+    seeds_requested: int
+    checked: int
+    admitted: int
+    outcomes_by_preset: Dict[str, int]
+    violations: Tuple[SeedOutcome, ...]
+    counterexamples: Tuple[CounterexampleRecord, ...]
+    wall_seconds: float
+    stopped_early: bool
+
+    @property
+    def sound(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        presets = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.outcomes_by_preset.items())
+        )
+        head = (
+            f"{self.seeds_run}/{self.seeds_requested} seeds"
+            f"{' (time budget hit)' if self.stopped_early else ''}, "
+            f"{self.checked} bounded stream-checks "
+            f"({self.admitted} admitted), presets: {presets}; "
+            f"{self.wall_seconds:.1f}s"
+        )
+        if self.sound:
+            return f"sound: 0 violations over {head}"
+        lines = [f"UNSOUND: {len(self.violations)} violating seed(s) over "
+                 f"{head}"]
+        for outcome in self.violations:
+            for v in outcome.violations:
+                lines.append(f"  seed={outcome.seed} [{v.kind}] {v.detail}")
+        for record in self.counterexamples:
+            lines.append(
+                f"  counterexample seed={record.seed}: shrunk "
+                f"{record.streams_before} -> {record.streams_after} "
+                f"stream(s) in {record.shrink_evals} evals"
+                + (f", saved to {record.path}" if record.path else "")
+            )
+        return "\n".join(lines)
+
+
+def run_fuzz_campaign(
+    *,
+    seeds: int = 100,
+    seed0: int = 0,
+    generator: Optional[GeneratorConfig] = None,
+    jobs: int = 1,
+    time_budget: Optional[float] = None,
+    batch_size: int = 32,
+    shrink: bool = True,
+    max_shrink: int = 5,
+    shrink_evals: int = 200,
+    corpus_dir: Optional[str] = None,
+) -> FuzzReport:
+    """Run one soundness-fuzzing campaign.
+
+    Parameters
+    ----------
+    seeds, seed0:
+        Seed count and first seed (cases are pure functions of the seed).
+    generator:
+        Case-generator configuration (mesh size, ranges, perturbation).
+    jobs:
+        Worker processes; ``0`` means one per CPU, ``1`` runs serially.
+    time_budget:
+        Soft wall-clock cap in seconds: no new batch starts once exceeded
+        (already-running batches finish, so the cap can overshoot by one
+        batch).
+    shrink, max_shrink, shrink_evals:
+        Shrink up to ``max_shrink`` violating cases, each with an oracle
+        budget of ``shrink_evals`` evaluations.
+    corpus_dir:
+        When given, shrunk counterexamples are written there as JSON.
+    """
+    if seeds < 1:
+        raise AnalysisError("need at least one seed")
+    if jobs < 0:
+        raise AnalysisError(f"jobs must be >= 0, got {jobs}")
+    cfg = generator or GeneratorConfig()
+    t0 = time.perf_counter()
+    worker = functools.partial(_run_one_seed, cfg=cfg)
+    processes = None if jobs == 0 else jobs
+
+    all_seeds = list(range(seed0, seed0 + seeds))
+    outcomes: List[SeedOutcome] = []
+    stopped_early = False
+    for start in range(0, len(all_seeds), max(1, batch_size)):
+        if time_budget is not None and time.perf_counter() - t0 > time_budget:
+            stopped_early = True
+            break
+        batch = all_seeds[start:start + max(1, batch_size)]
+        outcomes.extend(map_seeds(worker, batch, processes=processes))
+
+    violations = tuple(o for o in outcomes if o.violation_kinds)
+    by_preset: Dict[str, int] = {}
+    for o in outcomes:
+        by_preset[o.preset] = by_preset.get(o.preset, 0) + 1
+
+    records: List[CounterexampleRecord] = []
+    if shrink:
+        for outcome in violations[:max_shrink]:
+            assert outcome.case_spec is not None
+            original = FuzzCase.from_spec(outcome.case_spec)
+            shrunk = shrink_case(
+                original, outcome.violation_kinds, max_evals=shrink_evals
+            )
+            # Re-run the oracle on the shrunk case so the stored violation
+            # details describe the case actually persisted.
+            final = run_case(shrunk.case)
+            path: Optional[str] = None
+            if corpus_dir is not None:
+                spec = counterexample_spec(
+                    outcome.violation_kinds[0],
+                    shrunk.case,
+                    final.violations or outcome.violations,
+                    original=original,
+                    shrink_evals=shrunk.evals,
+                )
+                path = str(write_counterexample(corpus_dir, spec))
+            records.append(CounterexampleRecord(
+                seed=outcome.seed,
+                kinds=outcome.violation_kinds,
+                path=path,
+                streams_before=len(original.streams),
+                streams_after=len(shrunk.case.streams),
+                shrink_evals=shrunk.evals,
+            ))
+
+    return FuzzReport(
+        seeds_run=len(outcomes),
+        seeds_requested=seeds,
+        checked=sum(o.checked for o in outcomes),
+        admitted=sum(o.admitted for o in outcomes),
+        outcomes_by_preset=by_preset,
+        violations=violations,
+        counterexamples=tuple(records),
+        wall_seconds=time.perf_counter() - t0,
+        stopped_early=stopped_early,
+    )
+
+
+def run_self_test(
+    *,
+    corpus_dir: str,
+    generator: Optional[GeneratorConfig] = None,
+    seeds: int = 4,
+    jobs: int = 1,
+) -> Tuple[bool, str]:
+    """Prove the harness end to end against a known-broken analysis.
+
+    Injects ``bound_delta`` so every admitted bound collapses to 1 (any
+    real transmission takes longer), then requires: the campaign reports a
+    soundness violation, the counterexample shrinks, it lands in the
+    corpus, and the public replay path reproduces it.
+
+    Returns ``(ok, report_text)``.
+    """
+    import dataclasses
+
+    cfg = dataclasses.replace(
+        generator or GeneratorConfig(),
+        bound_delta=1 << 20,
+        # The perturbation fires on every admitted stream; plain uniform
+        # traffic is enough and keeps the self-test fast.
+        presets=("uniform",),
+        phase_probability=0.0,
+    )
+    report = run_fuzz_campaign(
+        seeds=seeds, generator=cfg, jobs=jobs, shrink=True,
+        max_shrink=1, corpus_dir=corpus_dir,
+    )
+    lines = [report.summary()]
+    if report.sound:
+        lines.append(
+            "SELF-TEST FAILED: injected bound perturbation was not caught"
+        )
+        return False, "\n".join(lines)
+    record = next(
+        (r for r in report.counterexamples if r.path is not None), None
+    )
+    if record is None:
+        lines.append(
+            "SELF-TEST FAILED: no counterexample was shrunk and persisted"
+        )
+        return False, "\n".join(lines)
+    if record.streams_after > record.streams_before:
+        lines.append("SELF-TEST FAILED: shrinking grew the case")
+        return False, "\n".join(lines)
+    assert record.path is not None
+    rep = replay(record.path)
+    lines.append(rep.summary())
+    if not rep.reproduced:
+        lines.append(
+            "SELF-TEST FAILED: persisted counterexample did not replay"
+        )
+        return False, "\n".join(lines)
+    lines.append(
+        f"self-test ok: perturbation caught, shrunk to "
+        f"{record.streams_after} stream(s), replayed from {record.path}"
+    )
+    return True, "\n".join(lines)

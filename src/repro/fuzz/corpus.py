@@ -1,0 +1,144 @@
+"""Counterexample corpus: JSON serialisation and deterministic replay.
+
+A corpus entry is one shrunk counterexample with full provenance::
+
+    {
+      "schema": 1,
+      "kind": "soundness",
+      "violations": [{"kind": ..., "detail": ..., ...}],
+      "case": { ... FuzzCase.to_spec() ... },        # the shrunk case
+      "original_case": { ... },                      # as drawn by the seed
+      "shrink": {"evals": 37, "streams_before": 6, "streams_after": 1}
+    }
+
+Entries live one-per-file under a corpus directory (default
+``fuzz-corpus/``), named ``cex-<kind>-seed<seed>-<digest>.json`` so that
+re-finding the same counterexample is idempotent. :func:`replay` re-runs
+the oracle on the stored case and reports whether the recorded violation
+kind still reproduces — the gate both the nightly CI job and
+``repro fuzz --replay`` stand on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+from ..errors import AnalysisError
+from .generator import FuzzCase
+from .oracle import CaseResult, FuzzViolation, run_case
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "counterexample_spec",
+    "write_counterexample",
+    "load_counterexample",
+    "ReplayResult",
+    "replay",
+]
+
+CORPUS_SCHEMA = 1
+
+
+def counterexample_spec(
+    kind: str,
+    case: FuzzCase,
+    violations: Sequence[FuzzViolation],
+    *,
+    original: Optional[FuzzCase] = None,
+    shrink_evals: int = 0,
+) -> Dict[str, Any]:
+    """Build the JSON document for one counterexample."""
+    spec: Dict[str, Any] = {
+        "schema": CORPUS_SCHEMA,
+        "kind": kind,
+        "violations": [v.to_spec() for v in violations],
+        "case": case.to_spec(),
+    }
+    if original is not None:
+        spec["original_case"] = original.to_spec()
+        spec["shrink"] = {
+            "evals": shrink_evals,
+            "streams_before": len(original.streams),
+            "streams_after": len(case.streams),
+        }
+    return spec
+
+
+def write_counterexample(
+    corpus_dir: Union[str, Path], spec: Dict[str, Any]
+) -> Path:
+    """Write one counterexample into the corpus; returns its path."""
+    corpus = Path(corpus_dir)
+    corpus.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(spec, indent=2, sort_keys=True) + "\n"
+    digest = hashlib.sha256(
+        json.dumps(spec["case"], sort_keys=True).encode()
+    ).hexdigest()[:10]
+    seed = spec["case"].get("seed")
+    name = f"cex-{spec['kind']}-seed{seed}-{digest}.json"
+    path = corpus / name
+    path.write_text(payload)
+    return path
+
+
+def load_counterexample(
+    path: Union[str, Path]
+) -> Tuple[str, FuzzCase, Dict[str, Any]]:
+    """Load one corpus entry: (kind, case, full spec)."""
+    with open(path) as f:
+        spec = json.load(f)
+    schema = int(spec.get("schema", CORPUS_SCHEMA))
+    if schema != CORPUS_SCHEMA:
+        raise AnalysisError(
+            f"unsupported corpus schema {schema} in {path}"
+        )
+    if "kind" not in spec or "case" not in spec:
+        raise AnalysisError(
+            f"corpus entry {path} needs 'kind' and 'case' keys"
+        )
+    return str(spec["kind"]), FuzzCase.from_spec(spec["case"]), spec
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying one corpus entry."""
+
+    path: Path
+    recorded_kind: str
+    result: CaseResult
+
+    @property
+    def reproduced(self) -> bool:
+        """True iff a violation of the recorded kind still occurs."""
+        return self.recorded_kind in self.result.kinds()
+
+    def summary(self) -> str:
+        case = self.result.case
+        head = (
+            f"{self.path.name}: {case.width}x{case.height} mesh, "
+            f"{len(case.streams)} stream(s), sim_time={case.sim_time}"
+        )
+        if self.reproduced:
+            lines = [head, f"REPRODUCED ({self.recorded_kind}):"]
+            lines += [
+                f"  {v.detail}" for v in self.result.violations
+                if v.kind == self.recorded_kind
+            ]
+        else:
+            lines = [
+                head,
+                f"not reproduced: recorded kind {self.recorded_kind!r}, "
+                f"observed {list(self.result.kinds()) or 'no violations'}",
+            ]
+        return "\n".join(lines)
+
+
+def replay(path: Union[str, Path]) -> ReplayResult:
+    """Re-run the oracle on a stored counterexample."""
+    kind, case, _ = load_counterexample(path)
+    result = run_case(case)
+    return ReplayResult(path=Path(path), recorded_kind=kind, result=result)

@@ -1,0 +1,290 @@
+"""The differential oracle: run one case through analysis and simulation
+and check the reproduction's standing invariants.
+
+For a :class:`~repro.fuzz.generator.FuzzCase` the oracle checks:
+
+``nondeterminism``
+    Two independently constructed analyzers must produce identical bounds
+    (the analysis is a pure function of the stream set).
+``divergence``
+    The event-driven fast path and the reference ``_step_slow`` loop must
+    produce bit-identical statistics: same per-stream delay samples (in
+    order), same transfer totals, same unfinished count.
+``soundness``
+    For every stream the analysis *admits*, no simulated transmission
+    delay may exceed ``U_i``. Admission requires ``0 < U_i <= min(T_i,
+    D_i)`` for the stream itself AND for every member of its transitive
+    HP closure. Both halves scope the check to what the paper actually
+    claims:
+
+    * the ``min`` with the period keeps self-interference out: a stream
+      whose bound exceeds its own period legitimately queues behind its
+      previous message at the source, a delay component the analysis
+      never covers (the paper inflates ``T := U`` before simulating, see
+      :mod:`repro.analysis.experiments`);
+    * the closure condition mirrors the timing diagram's construction,
+      which confines every HP member instance to its own period window
+      ``(kT, (k+1)T]`` — valid exactly when that member itself completes
+      within its window. The paper's theorem is about sets that pass
+      ``Determine-Feasibility`` wholesale; ``U_i`` for a stream whose
+      blockers are themselves infeasible is conditional on an assumption
+      known to be false (see EXPERIMENTS.md, finding F-7).
+``sim-error``
+    The simulator must not raise (deadlock watchdog, internal invariant)
+    on any generated workload; X-Y routing is deadlock-free, so any raise
+    is a model bug.
+
+A positive ``case.bound_delta`` weakens every admitted bound to
+``max(1, U_i - bound_delta)`` before the soundness comparison — the
+self-test hook that proves the harness can catch, shrink and replay a
+genuinely unsound analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.feasibility import FeasibilityAnalyzer
+from ..errors import ReproError
+from ..sim.network import WormholeSimulator
+from ..sim.stats import StatsCollector
+from .generator import FuzzCase
+
+__all__ = ["FuzzViolation", "CaseResult", "run_case", "stats_fingerprint"]
+
+
+@dataclass(frozen=True)
+class FuzzViolation:
+    """One invariant violation observed while running a case."""
+
+    kind: str  # "soundness" | "divergence" | "nondeterminism" | "sim-error"
+    detail: str
+    stream_id: Optional[int] = None
+    observed: Optional[int] = None
+    bound: Optional[int] = None
+
+    def to_spec(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"kind": self.kind, "detail": self.detail}
+        if self.stream_id is not None:
+            out["stream_id"] = self.stream_id
+        if self.observed is not None:
+            out["observed"] = self.observed
+        if self.bound is not None:
+            out["bound"] = self.bound
+        return out
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Everything the oracle learned about one case."""
+
+    case: FuzzCase
+    #: Streams the analysis admits: finite bound within min(period,
+    #: deadline), for the stream and its whole transitive HP closure.
+    admitted: Tuple[int, ...]
+    #: Effective (possibly perturbed) bound per admitted stream.
+    bounds: Dict[int, int]
+    #: Maximum observed delay per stream that produced samples.
+    max_observed: Dict[int, int]
+    violations: Tuple[FuzzViolation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def kinds(self) -> Tuple[str, ...]:
+        """Distinct violation kinds, sorted."""
+        return tuple(sorted({v.kind for v in self.violations}))
+
+
+def stats_fingerprint(
+    sim: WormholeSimulator, stats: StatsCollector
+) -> Dict[str, object]:
+    """A canonical, comparable digest of one simulation run.
+
+    Two runs of the same workload through semantically identical execution
+    paths must produce equal fingerprints — per-stream sample sequences
+    (order included), transfer totals and the unfinished count.
+    """
+    return {
+        "samples": {sid: stats.samples(sid) for sid in stats.stream_ids()},
+        "total_transfers": sim.total_transfers,
+        "unfinished": stats.unfinished,
+        "retransmissions": sim.retransmissions,
+    }
+
+
+def _fingerprint_diff(a: Dict[str, object], b: Dict[str, object]) -> str:
+    """Human-readable first difference between two run fingerprints."""
+    for key in ("total_transfers", "unfinished", "retransmissions"):
+        if a[key] != b[key]:
+            return f"{key}: fast={a[key]} slow={b[key]}"
+    sa, sb = a["samples"], b["samples"]
+    assert isinstance(sa, dict) and isinstance(sb, dict)
+    for sid in sorted(set(sa) | set(sb)):
+        va, vb = sa.get(sid), sb.get(sid)
+        if va != vb:
+            return (
+                f"stream {sid} samples differ: fast has "
+                f"{len(va or ())} samples, slow has {len(vb or ())}; "
+                f"first mismatch at index "
+                f"{next((i for i, (x, y) in enumerate(zip(va or (), vb or ())) if x != y), min(len(va or ()), len(vb or ())))}"
+            )
+    return "fingerprints differ in an unknown field"
+
+
+def _analysis_bounds(
+    case: FuzzCase,
+) -> Tuple[Dict[int, int], Dict[int, Tuple[int, ...]]]:
+    """One fresh analysis pass.
+
+    Returns ``(stream id -> upper bound over the deadline horizon,
+    stream id -> HP-set member ids)``.
+    """
+    _, routing, streams = case.build()
+    analyzer = FeasibilityAnalyzer(
+        streams, routing, residency_margin=case.residency_margin
+    )
+    bounds = analyzer.determine_feasibility().upper_bounds()
+    hp_ids = {sid: analyzer.hp_sets[sid].ids() for sid in bounds}
+    return bounds, hp_ids
+
+
+def _admitted(
+    case: FuzzCase,
+    bounds: Dict[int, int],
+    hp_ids: Dict[int, Tuple[int, ...]],
+) -> Tuple[int, ...]:
+    """Streams whose bound the analysis actually stands behind.
+
+    A stream is admitted when ``0 < U <= min(T, D)`` holds for itself and
+    for every member of its transitive HP closure: the timing diagram
+    confines each member instance to its own period window, which only
+    models reality when that member finishes within its window.
+    """
+    by_id = {s.stream_id: s for s in case.streams}
+    ok = {
+        sid for sid, u in bounds.items()
+        if 0 < u <= min(by_id[sid].period, by_id[sid].deadline)
+    }
+    changed = True
+    while changed:
+        changed = False
+        for sid in sorted(ok):
+            if any(m != sid and m not in ok for m in hp_ids.get(sid, ())):
+                ok.discard(sid)
+                changed = True
+    return tuple(sorted(ok))
+
+
+def run_case(
+    case: FuzzCase,
+    *,
+    check_divergence: bool = True,
+    analysis_repeats: int = 2,
+) -> CaseResult:
+    """Run the full differential pipeline on one case."""
+    violations = []
+
+    # --- analysis (+ determinism) ------------------------------------- #
+    bounds_raw, hp_ids = _analysis_bounds(case)
+    for _ in range(max(0, analysis_repeats - 1)):
+        again, _ = _analysis_bounds(case)
+        if again != bounds_raw:
+            diff = sorted(
+                sid for sid in bounds_raw
+                if again.get(sid) != bounds_raw[sid]
+            )
+            violations.append(FuzzViolation(
+                kind="nondeterminism",
+                detail=(
+                    f"repeated analysis disagrees on streams {diff}: "
+                    f"{[bounds_raw[i] for i in diff]} vs "
+                    f"{[again.get(i) for i in diff]}"
+                ),
+            ))
+            break
+
+    by_id = {s.stream_id: s for s in case.streams}
+    admitted = _admitted(case, bounds_raw, hp_ids)
+    effective = {
+        sid: max(1, bounds_raw[sid] - case.bound_delta) for sid in admitted
+    }
+
+    # --- simulation (fast path, + reference path) ---------------------- #
+    phases = case.phases()
+
+    def _simulate(fastpath: bool):
+        mesh, routing, streams = case.build()
+        sim = WormholeSimulator(
+            mesh, routing, streams, warmup=0, fastpath=fastpath
+        )
+        stats = sim.simulate_streams(case.sim_time, phases=phases)
+        return sim, stats
+
+    try:
+        sim_fast, stats_fast = _simulate(True)
+    except ReproError as exc:
+        violations.append(FuzzViolation(
+            kind="sim-error",
+            detail=f"fast path raised {type(exc).__name__}: {exc}",
+        ))
+        return CaseResult(
+            case=case, admitted=admitted, bounds=effective,
+            max_observed={}, violations=tuple(violations),
+        )
+
+    fp_fast = stats_fingerprint(sim_fast, stats_fast)
+    if check_divergence:
+        try:
+            sim_slow, stats_slow = _simulate(False)
+        except ReproError as exc:
+            violations.append(FuzzViolation(
+                kind="sim-error",
+                detail=f"reference path raised {type(exc).__name__}: {exc}",
+            ))
+            sim_slow = stats_slow = None
+        if sim_slow is not None:
+            fp_slow = stats_fingerprint(sim_slow, stats_slow)
+            if fp_fast != fp_slow:
+                violations.append(FuzzViolation(
+                    kind="divergence",
+                    detail=(
+                        "fast/reference statistics differ: "
+                        + _fingerprint_diff(fp_fast, fp_slow)
+                    ),
+                ))
+
+    # --- soundness ----------------------------------------------------- #
+    max_observed = {
+        sid: max(samples)
+        for sid, samples in fp_fast["samples"].items()  # type: ignore[union-attr]
+        if samples
+    }
+    for sid in admitted:
+        observed = max_observed.get(sid)
+        if observed is None:
+            continue
+        u = effective[sid]
+        if observed > u:
+            violations.append(FuzzViolation(
+                kind="soundness",
+                detail=(
+                    f"stream {sid} (P{by_id[sid].priority}) observed delay "
+                    f"{observed} exceeds bound {u}"
+                    + (f" (U={bounds_raw[sid]} perturbed by "
+                       f"-{case.bound_delta})" if case.bound_delta else "")
+                ),
+                stream_id=sid,
+                observed=observed,
+                bound=u,
+            ))
+
+    return CaseResult(
+        case=case,
+        admitted=admitted,
+        bounds=effective,
+        max_observed=max_observed,
+        violations=tuple(violations),
+    )

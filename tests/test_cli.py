@@ -102,3 +102,88 @@ class TestCheckCommand:
         path.write_text(json.dumps(spec))
         assert main(["check", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_empty_stream_set_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps(
+            {"mesh": {"width": 4, "height": 4}, "streams": []}
+        ))
+        assert main(["check", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_json_exit_three(self, tmp_path, capsys):
+        path = tmp_path / "mangled.json"
+        path.write_text('{"mesh": {"width": 4')
+        assert main(["check", str(path)]) == 3
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+        assert str(path) in err
+
+    def test_missing_file_exit_four(self, tmp_path, capsys):
+        path = tmp_path / "does-not-exist.json"
+        assert main(["check", str(path)]) == 4
+        err = capsys.readouterr().err
+        assert "no such file" in err
+        assert str(path) in err
+
+    def test_failure_codes_are_distinct(self, tmp_path):
+        """The three failure modes must stay distinguishable by exit code."""
+        missing = tmp_path / "gone.json"
+        mangled = tmp_path / "mangled.json"
+        mangled.write_text("[not json")
+        infeasible = tmp_path / "infeasible.json"
+        infeasible.write_text(json.dumps({
+            "mesh": {"width": 4, "height": 4},
+            "streams": [
+                {"id": 0, "src": 0, "dst": 3, "priority": 1,
+                 "period": 50, "length": 40, "deadline": 2},
+            ],
+        }))
+        codes = {
+            main(["check", str(infeasible)]),
+            main(["check", str(mangled)]),
+            main(["check", str(missing)]),
+        }
+        assert codes == {1, 3, 4}
+
+
+class TestFuzzCommand:
+    def test_small_sound_campaign(self, tmp_path, capsys):
+        code = main([
+            "fuzz", "--seeds", "6", "--mesh", "3x3", "--jobs", "1",
+            "--sim-time", "600", "--corpus", str(tmp_path / "corpus"),
+        ])
+        assert code == 0
+        assert "sound: 0 violations" in capsys.readouterr().out
+
+    def test_bad_mesh_exit_two(self, capsys):
+        assert main(["fuzz", "--mesh", "bogus", "--jobs", "1"]) == 2
+        assert "--mesh wants WxH" in capsys.readouterr().err
+
+    def test_replay_missing_file_exit_four(self, tmp_path, capsys):
+        path = tmp_path / "gone.json"
+        assert main(["fuzz", "--replay", str(path)]) == 4
+        assert "no such file" in capsys.readouterr().err
+
+    def test_replay_malformed_json_exit_three(self, tmp_path, capsys):
+        path = tmp_path / "mangled.json"
+        path.write_text("{nope")
+        assert main(["fuzz", "--replay", str(path)]) == 3
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_self_test_catches_shrinks_and_replays(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        code = main([
+            "fuzz", "--self-test", "--jobs", "1", "--mesh", "3x3",
+            "--sim-time", "600", "--corpus", str(corpus),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "self-test ok" in out
+        entries = sorted(corpus.glob("cex-*.json"))
+        assert entries, "self-test must persist a counterexample"
+        # The persisted counterexample replays through the public path
+        # and still reproduces (exit 1 by design: a reproducing
+        # counterexample is a live finding).
+        assert main(["fuzz", "--replay", str(entries[0])]) == 1
+        assert "REPRODUCED" in capsys.readouterr().out

@@ -8,12 +8,17 @@ is the point. If a change is *intended* to alter results, update the pins
 alongside it and say why in the commit.
 """
 
+import json
+import pathlib
+
 import pytest
 
-from repro.analysis import run_table_experiment
+from repro.analysis import run_paper_table, run_table_experiment
 from repro.core.feasibility import FeasibilityAnalyzer
 from repro.sim import PaperWorkload, WormholeSimulator
 from repro.topology import Mesh2D, XYRouting
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
 
 @pytest.fixture(scope="module")
@@ -60,3 +65,30 @@ class TestGoldenPins:
         assert an.determine_feasibility().upper_bounds() == {
             0: 7, 1: 8, 2: 26, 3: 20, 4: 33,
         }
+
+    def test_table5_matches_committed_golden_file(self):
+        """Table 5 (60 streams, 15 levels) against tests/golden/table5.json.
+
+        Pins every per-stream bound U_i and the per-priority ratio
+        statistics of the simulated workload. Regenerate the file with the
+        snippet in its sibling README if a change intentionally moves it.
+        """
+        golden = json.loads((GOLDEN_DIR / "table5.json").read_text())
+        cfg = golden["config"]
+        r = run_paper_table(
+            cfg["table"], seed=cfg["seed"], sim_time=cfg["sim_time"],
+            warmup=cfg["warmup"],
+        )
+        assert {str(k): v for k, v in sorted(r.upper_bounds.items())} \
+            == golden["upper_bounds"]
+        actual_rows = {
+            str(p): {
+                "num_streams": v.num_streams,
+                "num_unbounded": v.num_unbounded,
+                "mean": round(v.mean, 6),
+                "minimum": round(v.minimum, 6),
+                "maximum": round(v.maximum, 6),
+            }
+            for p, v in sorted(r.rows.items())
+        }
+        assert actual_rows == golden["ratios_by_priority"]

@@ -2,9 +2,13 @@
 
 import numpy as np
 import pytest
+
+pytest.importorskip("hypothesis")
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.core.bdg import bfs_layers, build_bdg
 from repro.core.feasibility import FeasibilityAnalyzer
 from repro.core.hpset import build_all_hp_sets, direct_blockers, stream_channels
 from repro.core.streams import MessageStream, StreamSet
@@ -141,6 +145,21 @@ class TestHPSetProperties:
     @given(streams=stream_sets())
     @settings(max_examples=60, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
+    def test_mutual_membership_implies_equal_priority(self, streams):
+        """HP membership is antisymmetric w.r.t. priority: j in HP_k and
+        k in HP_j can only hold together when P_j == P_k (membership
+        requires a chain of equal-or-higher priorities each way)."""
+        channels = stream_channels(streams, XY)
+        hps = build_all_hp_sets(streams, channels=channels)
+        for s in streams:
+            for entry in hps[s.stream_id]:
+                k = entry.stream_id
+                if s.stream_id in hps[k]:
+                    assert streams[k].priority == s.priority
+
+    @given(streams=stream_sets())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
     def test_highest_priority_stream_unblocked_unless_peer_overlaps(
         self, streams
     ):
@@ -151,6 +170,83 @@ class TestHPSetProperties:
             if s.priority == top:
                 for entry in hps[s.stream_id]:
                     assert streams[entry.stream_id].priority == top
+
+
+# ---------------------------------------------------------------------- #
+# Blocking-dependency-graph properties
+# ---------------------------------------------------------------------- #
+
+
+class TestBDGProperties:
+    @given(streams=stream_sets())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_edges_are_exactly_direct_blocking_pairs(self, streams):
+        """u -> v exists iff v directly blocks u (shared channel, P_v >=
+        P_u), restricted to the owner + HP members node set."""
+        channels = stream_channels(streams, XY)
+        blockers = direct_blockers(streams, channels)
+        hps = build_all_hp_sets(streams, channels=channels)
+        for s in streams:
+            hp = hps[s.stream_id]
+            g = build_bdg(hp, blockers)
+            nodes = set(g.nodes)
+            assert nodes == set(hp.ids()) | {s.stream_id}
+            for u, v in g.edges:
+                assert v in blockers[u]
+                assert not channels[u].isdisjoint(channels[v])
+                assert streams[v].priority >= streams[u].priority
+            for u in nodes:
+                for v in blockers[u]:
+                    if v in nodes and v != u:
+                        assert g.has_edge(u, v)
+
+    @given(streams=stream_sets())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_node_modes_match_hp_entries(self, streams):
+        channels = stream_channels(streams, XY)
+        blockers = direct_blockers(streams, channels)
+        hps = build_all_hp_sets(streams, channels=channels)
+        for s in streams:
+            hp = hps[s.stream_id]
+            g = build_bdg(hp, blockers)
+            assert g.nodes[s.stream_id]["mode"] == "owner"
+            for entry in hp:
+                expected = "DIRECT" if entry.is_direct else "INDIRECT"
+                assert g.nodes[entry.stream_id]["mode"] == expected
+
+    @given(streams=stream_sets())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_bfs_layers_partition_and_respect_distance(self, streams):
+        """Layer 0 is the owner; layers partition the nodes; every
+        reachable node at depth d has a predecessor at depth d - 1."""
+        channels = stream_channels(streams, XY)
+        blockers = direct_blockers(streams, channels)
+        hps = build_all_hp_sets(streams, channels=channels)
+        for s in streams:
+            g = build_bdg(hps[s.stream_id], blockers)
+            layers = bfs_layers(g, s.stream_id)
+            assert layers[0] == (s.stream_id,)
+            flat = [n for layer in layers for n in layer]
+            assert sorted(flat) == sorted(g.nodes)
+            assert len(flat) == len(set(flat))
+            # Reachable set from the owner.
+            reach = {s.stream_id}
+            stack = [s.stream_id]
+            while stack:
+                for v in g.successors(stack.pop()):
+                    if v not in reach:
+                        reach.add(v)
+                        stack.append(v)
+            depth = {n: d for d, layer in enumerate(layers) for n in layer}
+            for n in g.nodes:
+                if n == s.stream_id or n not in reach:
+                    continue  # unreachable nodes ride in the final layer
+                assert any(
+                    depth[p] == depth[n] - 1 for p in g.predecessors(n)
+                ), f"node {n} at depth {depth[n]} has no parent above"
 
 
 # ---------------------------------------------------------------------- #
