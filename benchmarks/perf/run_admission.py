@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Admission-churn benchmark: incremental engine vs full reanalysis.
+
+Writes ``BENCH_PR3.json`` at the repo root. Two workloads are measured:
+
+``churn_60``
+    A 60-stream admit/release churn trace on a 12x12 mesh with 15
+    priority levels: the trace first fills to 60 admitted streams, then
+    alternates random releases and admissions around that occupancy
+    (ISSUE 3's acceptance workload). The identical trace is replayed
+    through :class:`~repro.service.engine.IncrementalAdmissionEngine` in
+    incremental mode and in full mode (``REPRO_INCREMENTAL=0``
+    equivalent); every decision and every report must be bit-identical
+    between the two before any number is recorded, and the recorded
+    ``speedup`` is their wall-time ratio.
+``server_roundtrip``
+    End-to-end ops/sec of the asyncio broker over a unix socket
+    (``repro serve`` + the churn load client), incremental engine.
+
+Environment knobs:
+
+* ``REPRO_BENCH_ADMIT_OPS``    — churn ops after the fill phase (default 150);
+* ``REPRO_BENCH_ADMIT_STREAMS``— target live streams (default 60);
+* ``REPRO_PERF_REPEATS``       — timing repeats, best-of (default 1);
+* ``REPRO_BENCH_SERVER``       — 0 skips the server round-trip leg.
+
+Run:  PYTHONPATH=src python benchmarks/perf/run_admission.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+for p in (REPO_ROOT / "src", REPO_ROOT):
+    if str(p) not in sys.path:
+        sys.path.insert(0, str(p))
+
+from repro.core.streams import MessageStream  # noqa: E402
+from repro.io import report_to_spec  # noqa: E402
+from repro.service.engine import IncrementalAdmissionEngine  # noqa: E402
+from repro.topology.mesh import Mesh2D  # noqa: E402
+from repro.topology.routing import XYRouting  # noqa: E402
+
+CHURN_OPS = int(os.environ.get("REPRO_BENCH_ADMIT_OPS", "150"))
+TARGET_LIVE = int(os.environ.get("REPRO_BENCH_ADMIT_STREAMS", "60"))
+REPEATS = int(os.environ.get("REPRO_PERF_REPEATS", "1"))
+RUN_SERVER = os.environ.get("REPRO_BENCH_SERVER", "1") != "0"
+OUT_PATH = REPO_ROOT / "BENCH_PR3.json"
+
+MESH_W = MESH_H = 12
+LEVELS = 15
+
+
+def build_trace(seed: int = 0):
+    """Build a deterministic admit/release trace (shared by both engines).
+
+    Each element is ``("admit", MessageStream)`` or ``("release", id)``.
+    Streams are locality-biased (short routes) so HP closures stay
+    realistic for a large network — the regime the broker targets.
+    """
+    mesh = Mesh2D(MESH_W, MESH_H)
+    rng = random.Random(seed)
+
+    def draw(sid: int) -> MessageStream:
+        while True:
+            sx, sy = rng.randrange(MESH_W), rng.randrange(MESH_H)
+            dx = min(MESH_W - 1, max(0, sx + rng.randint(-4, 4)))
+            dy = min(MESH_H - 1, max(0, sy + rng.randint(-4, 4)))
+            if (sx, sy) != (dx, dy):
+                break
+        length = rng.randint(1, 10)
+        period = rng.randint(80, 400)
+        return MessageStream(
+            sid, mesh.node_xy(sx, sy), mesh.node_xy(dx, dy),
+            priority=rng.randint(1, LEVELS), period=period, length=length,
+            deadline=rng.randint(period // 5, period // 2),
+        )
+
+    trace = []
+    live = []
+    next_id = 0
+    # Fill to the target occupancy, then churn around it.
+    for _ in range(TARGET_LIVE):
+        trace.append(("admit", draw(next_id)))
+        live.append(next_id)
+        next_id += 1
+    for _ in range(CHURN_OPS):
+        if live and (len(live) >= TARGET_LIVE or rng.random() < 0.5):
+            sid = live.pop(rng.randrange(len(live)))
+            trace.append(("release", sid))
+        else:
+            trace.append(("admit", draw(next_id)))
+            live.append(next_id)
+            next_id += 1
+    return trace
+
+
+def replay(trace, incremental: bool):
+    """Run one engine over the trace; return (seconds, outcomes, stats).
+
+    Outcomes capture every decision and every post-op report spec, so the
+    two modes can be compared bit for bit.
+    """
+    mesh = Mesh2D(MESH_W, MESH_H)
+    engine = IncrementalAdmissionEngine(
+        XYRouting(mesh), incremental=incremental
+    )
+    outcomes = []
+    t0 = time.perf_counter()
+    for op, payload in trace:
+        if op == "admit":
+            decision = engine.try_admit(payload)
+            outcomes.append(
+                ("admit", payload.stream_id, decision.admitted,
+                 decision.violations, report_to_spec(decision.report))
+            )
+        else:
+            # The trace releases only streams it admitted; a rejected
+            # admit makes the later release a no-op we must skip on both
+            # engines identically.
+            if payload in engine.admitted:
+                engine.release(payload)
+                outcomes.append(
+                    ("release", payload,
+                     report_to_spec(engine.current_report()))
+                )
+            else:
+                outcomes.append(("skip", payload))
+    seconds = time.perf_counter() - t0
+    return seconds, outcomes, engine.stats
+
+
+def bench_churn() -> dict:
+    trace = build_trace()
+    best_inc = best_full = float("inf")
+    outcomes_inc = outcomes_full = None
+    stats = None
+    for _ in range(max(1, REPEATS)):
+        sec, out, st = replay(trace, incremental=True)
+        if sec < best_inc:
+            best_inc, outcomes_inc, stats = sec, out, st
+        sec, out, _ = replay(trace, incremental=False)
+        if sec < best_full:
+            best_full, outcomes_full = sec, out
+    if outcomes_inc != outcomes_full:
+        raise AssertionError(
+            "incremental and full engines diverged on the churn trace — "
+            "refusing to record timings for a broken engine"
+        )
+    admits = sum(1 for o in outcomes_inc if o[0] == "admit")
+    return {
+        "mesh": f"{MESH_W}x{MESH_H}",
+        "priority_levels": LEVELS,
+        "target_live_streams": TARGET_LIVE,
+        "ops": len(trace),
+        "admits": admits,
+        "accepted": sum(
+            1 for o in outcomes_inc if o[0] == "admit" and o[2]
+        ),
+        "incremental_seconds": round(best_inc, 4),
+        "full_seconds": round(best_full, 4),
+        "speedup": round(best_full / best_inc, 3),
+        "engine_stats": stats.to_dict(),
+    }
+
+
+def bench_server_roundtrip() -> dict:
+    import asyncio
+    import tempfile
+    import threading
+
+    from repro.service.loadgen import BrokerClient, run_load
+    from repro.service.server import BrokerServer
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sock = os.path.join(tmp, "broker.sock")
+        result: dict = {}
+
+        async def main() -> None:
+            server = BrokerServer(
+                {"type": "mesh", "width": MESH_W, "height": MESH_H}
+            )
+            await server.start_unix(sock)
+
+            def client_side() -> None:
+                with BrokerClient.wait_for_unix(sock) as client:
+                    summary = run_load(
+                        client, ops=max(100, CHURN_OPS), seed=0,
+                        target_live=min(40, TARGET_LIVE),
+                    )
+                    result.update({
+                        "ops": summary.ops,
+                        "ops_per_second": round(
+                            summary.ops_per_second(), 1
+                        ),
+                        "acceptance_rate": round(
+                            summary.admits_accepted
+                            / max(1, summary.admits_tried), 3
+                        ),
+                    })
+                    client.check("shutdown")
+
+            thread = threading.Thread(target=client_side)
+            thread.start()
+            await server.serve_forever()
+            thread.join()
+
+        asyncio.run(main())
+        return result
+
+
+def main() -> None:
+    report = {
+        "bench": "PR3 admission-churn harness",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "knobs": {
+            "REPRO_BENCH_ADMIT_OPS": CHURN_OPS,
+            "REPRO_BENCH_ADMIT_STREAMS": TARGET_LIVE,
+            "REPRO_PERF_REPEATS": REPEATS,
+        },
+        "workloads": {},
+    }
+    t0 = time.perf_counter()
+    print(f"replaying {TARGET_LIVE}-stream churn trace "
+          "(incremental vs full)...")
+    report["workloads"]["churn_60"] = bench_churn()
+    if RUN_SERVER:
+        print("timing broker server round-trips (unix socket)...")
+        report["workloads"]["server_roundtrip"] = bench_server_roundtrip()
+    report["total_seconds"] = round(time.perf_counter() - t0, 2)
+
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"[saved to {OUT_PATH}]")
+
+
+if __name__ == "__main__":
+    main()

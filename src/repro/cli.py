@@ -13,18 +13,24 @@ Commands
 ``inversion``
     The Fig. 2 priority-inversion comparison (classical vs preemptive).
 ``check FILE``
-    Feasibility-test a stream set described in a JSON file::
+    Feasibility-test a stream set described in a JSON problem file::
 
         {
-          "mesh": {"width": 10, "height": 10},
+          "topology": {"type": "mesh", "width": 10, "height": 10},
           "streams": [
             {"id": 0, "src": [7, 3], "dst": [7, 7],
              "priority": 5, "period": 150, "length": 4, "deadline": 150}
           ]
         }
 
-    Exit codes: 0 feasible, 1 infeasible, 2 invalid problem, 3 malformed
-    JSON, 4 missing file.
+    Three topology types are accepted (see :func:`repro.io.topology_from_spec`):
+    ``{"type": "mesh", "width": W, "height": H}`` (X-Y routing),
+    ``{"type": "torus", "dims": [d0, d1, ...]}`` (dimension-order routing
+    with dateline VC classes), and ``{"type": "hypercube", "dimension": n}``
+    (e-cube routing). ``src``/``dst`` may be coordinate lists (mesh/torus)
+    or integer node ids; the legacy top-level ``mesh`` key is still
+    accepted. Exit codes: 0 feasible, 1 infeasible, 2 invalid problem,
+    3 malformed JSON, 4 missing file.
 ``fuzz``
     Differential soundness fuzzing (see :mod:`repro.fuzz`): random
     workloads through analysis and simulator, invariant cross-checks,
@@ -32,6 +38,17 @@ Commands
     stored counterexample; ``--self-test`` proves the harness against an
     injected bound perturbation. Exit 0 iff no violation (for
     ``--replay``: iff the counterexample still reproduces, exit 1).
+``serve``
+    Run the online channel broker (see :mod:`repro.service`): an asyncio
+    JSON-lines server over a unix socket (``--socket``) or TCP
+    (``--host``/``--port``) exposing admit/release/query/report/snapshot/
+    stats ops, with optional snapshot+journal persistence
+    (``--state-dir``). ``REPRO_INCREMENTAL=0`` (or ``--no-incremental``)
+    forces full reanalysis on every request.
+``load``
+    Replay seeded admit/release churn against a running broker and print
+    a JSON summary (throughput, acceptance rate, server stats). Used by
+    the CI smoke job and for capacity probing.
 """
 
 from __future__ import annotations
@@ -114,6 +131,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--self-test", action="store_true",
                         help="prove the harness catches an injected "
                              "bound perturbation end to end")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the online channel broker (JSON-lines server)"
+    )
+    p_serve.add_argument("--socket", default=None, metavar="PATH",
+                         help="listen on a unix socket at PATH")
+    p_serve.add_argument("--host", default=None,
+                         help="listen on TCP HOST (with --port)")
+    p_serve.add_argument("--port", type=int, default=7315,
+                         help="TCP port (default 7315)")
+    p_serve.add_argument("--mesh", default=None, metavar="WxH",
+                         help="shortcut for a WxH mesh topology")
+    p_serve.add_argument("--topology", default=None, metavar="JSON",
+                         help="topology spec as JSON, e.g. "
+                              "'{\"type\": \"torus\", \"dims\": [4, 4]}'")
+    p_serve.add_argument("--state-dir", default=None, metavar="DIR",
+                         help="snapshot+journal persistence directory")
+    p_serve.add_argument("--no-incremental", action="store_true",
+                         help="full reanalysis on every request "
+                              "(same as REPRO_INCREMENTAL=0)")
+    p_serve.add_argument("--residency-margin", type=int, default=0,
+                         help="analysis residency margin (default 0)")
+    p_serve.add_argument("--batch-max", type=int, default=64,
+                         help="max requests drained per worker wakeup")
+
+    p_load = sub.add_parser(
+        "load", help="replay admit/release churn against a running broker"
+    )
+    p_load.add_argument("--socket", default=None, metavar="PATH",
+                        help="broker unix socket")
+    p_load.add_argument("--host", default=None, help="broker TCP host")
+    p_load.add_argument("--port", type=int, default=7315,
+                        help="broker TCP port (default 7315)")
+    p_load.add_argument("--ops", type=int, default=300,
+                        help="operations to replay (default 300)")
+    p_load.add_argument("--seed", type=int, default=0,
+                        help="churn RNG seed (default 0)")
+    p_load.add_argument("--target-live", type=int, default=40,
+                        help="occupancy the churn hovers around")
+    p_load.add_argument("--batch-size", type=int, default=1,
+                        help="streams per admit request (default 1)")
+    p_load.add_argument("--wait", type=float, default=10.0,
+                        help="seconds to wait for the broker socket")
+    p_load.add_argument("--assert-stats", action="store_true",
+                        help="exit 1 unless server stats are non-empty")
+    p_load.add_argument("--shutdown", action="store_true",
+                        help="send a shutdown op after the run")
 
     return parser
 
@@ -276,6 +340,87 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.sound else 1
 
 
+def _serve_topology_spec(args: argparse.Namespace) -> dict:
+    if args.mesh is not None and args.topology is not None:
+        raise ReproError("pass --mesh or --topology, not both")
+    if args.topology is not None:
+        try:
+            spec = json.loads(args.topology)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"--topology is not valid JSON: {exc}") from None
+        if not isinstance(spec, dict):
+            raise ReproError("--topology must be a JSON object")
+        return spec
+    width, height = _parse_mesh(args.mesh or "10x10")
+    return {"type": "mesh", "width": width, "height": height}
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service.server import BrokerServer
+
+    if (args.socket is None) == (args.host is None):
+        raise ReproError("pass exactly one of --socket or --host")
+    server = BrokerServer(
+        _serve_topology_spec(args),
+        state_dir=args.state_dir,
+        residency_margin=args.residency_margin,
+        incremental=False if args.no_incremental else None,
+        batch_max=args.batch_max,
+    )
+
+    async def run() -> None:
+        if args.socket is not None:
+            await server.start_unix(args.socket)
+            where = args.socket
+        else:
+            await server.start_tcp(args.host, args.port)
+            where = f"{args.host}:{args.port}"
+        mode = "incremental" if server.engine.incremental else "full"
+        print(f"repro-broker listening on {where} "
+              f"({mode} engine, {len(server.engine.admitted)} recovered)",
+              flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0
+
+
+def _run_load(args: argparse.Namespace) -> int:
+    from .service.loadgen import BrokerClient, run_load
+
+    if (args.socket is None) == (args.host is None):
+        raise ReproError("pass exactly one of --socket or --host")
+    if args.socket is not None:
+        client = BrokerClient.wait_for_unix(args.socket, timeout=args.wait)
+    else:
+        client = BrokerClient(host=args.host, port=args.port)
+    with client:
+        summary = run_load(
+            client,
+            ops=args.ops,
+            seed=args.seed,
+            target_live=args.target_live,
+            batch_size=args.batch_size,
+        )
+        if args.shutdown:
+            client.check("shutdown")
+    print(json.dumps(summary.to_dict(), indent=2))
+    if summary.errors:
+        return 1
+    if args.assert_stats and not (
+        summary.server_stats
+        and summary.server_stats.get("engine", {}).get("ops", 0) > 0
+    ):
+        print("error: server stats empty", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -292,6 +437,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_check(args.file, args.out)
         if args.command == "fuzz":
             return _run_fuzz(args)
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "load":
+            return _run_load(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -71,12 +71,24 @@ class AdmissionController:
         return self._admitted
 
     def fresh_id(self) -> int:
-        """Return an unused stream id for building request streams."""
-        while self._next_id in self._admitted:
+        """Return a never-before-seen stream id for building request streams.
+
+        The counter is monotonic over the controller's lifetime: an id that
+        was admitted (or merely requested) and later released is **never**
+        reissued, so a decision that still references it cannot be confused
+        with a newer stream.
+        """
+        while self._next_id in self._admitted:  # explicit client-chosen ids
             self._next_id += 1
         nid = self._next_id
         self._next_id += 1
         return nid
+
+    def _reserve_ids(self, requests: Sequence[MessageStream]) -> None:
+        """Advance the id counter past every requested id (no reuse)."""
+        top = max(r.stream_id for r in requests)
+        if top >= self._next_id:
+            self._next_id = top + 1
 
     def _analyze(self, streams: StreamSet) -> FeasibilityReport:
         analyzer = FeasibilityAnalyzer(
@@ -104,6 +116,7 @@ class AdmissionController:
         requests = tuple(requests)
         if not requests:
             raise AnalysisError("empty admission request")
+        self._reserve_ids(requests)
         trial = StreamSet(self._admitted)
         for r in requests:
             trial.add(r)
@@ -116,16 +129,31 @@ class AdmissionController:
         return AdmissionDecision(False, report, violations)
 
     def release(self, stream_ids: int | Iterable[int]) -> None:
-        """Remove streams (a finished job's traffic) from the admitted set."""
+        """Remove streams (a finished job's traffic) from the admitted set.
+
+        The whole release is validated up front: if any id is not currently
+        admitted, a :class:`StreamError` naming it is raised and *nothing*
+        is removed.
+        """
         if isinstance(stream_ids, int):
             stream_ids = (stream_ids,)
-        for sid in stream_ids:
+        ids = tuple(dict.fromkeys(stream_ids))
+        unknown = sorted(sid for sid in ids if sid not in self._admitted)
+        if unknown:
+            raise StreamError(
+                f"cannot release stream id(s) {unknown}: not admitted"
+            )
+        for sid in ids:
             self._admitted.remove(sid)
 
     def current_report(self) -> FeasibilityReport:
-        """Re-run the analysis over the currently admitted set."""
+        """Re-run the analysis over the currently admitted set.
+
+        An empty admitted set is vacuously feasible and yields a trivial
+        success report (no verdicts).
+        """
         if len(self._admitted) == 0:
-            raise AnalysisError("no admitted streams to analyse")
+            return FeasibilityReport.trivial()
         return self._analyze(self._admitted)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

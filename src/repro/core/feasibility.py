@@ -72,6 +72,11 @@ class FeasibilityReport:
     verdicts: Mapping[int, StreamVerdict]
     success: bool
 
+    @classmethod
+    def trivial(cls) -> "FeasibilityReport":
+        """Report for an empty stream set: vacuously feasible."""
+        return cls(verdicts={}, success=True)
+
     def upper_bounds(self) -> Dict[int, int]:
         """Return ``stream_id -> U`` for every analysed stream."""
         return {i: v.upper_bound for i, v in self.verdicts.items()}
@@ -192,6 +197,76 @@ class FeasibilityAnalyzer:
             self.hp_sets = build_all_hp_sets(
                 self.streams, channels=self.channels
             )
+
+    # ------------------------------------------------------------------ #
+    # Cache-friendly construction (incremental admission engine)
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_prepared(
+        cls,
+        streams: StreamSet,
+        channels: Mapping[int, FrozenSet[Channel]],
+        blockers: Mapping[int, Tuple[int, ...]],
+        hp_sets: Mapping[int, HPSet],
+        *,
+        routing: Optional[RoutingAlgorithm] = None,
+        latency_model: Optional[LatencyModel] = None,
+        use_modify: bool = True,
+        modify_fixpoint: bool = False,
+        modify_granularity: str = "instance",
+        residency_margin: int = 0,
+    ) -> "FeasibilityAnalyzer":
+        """Build an analyzer from precomputed per-stream structures.
+
+        The normal constructor derives routes, the direct-blocking relation
+        and every HP set from scratch — O(n^2) work that an *incremental*
+        caller (the channel-broker engine in :mod:`repro.service.engine`)
+        already maintains between requests. This entry point adopts those
+        structures verbatim so the only remaining cost of a verdict is
+        :meth:`cal_u` itself, and is guaranteed to produce bit-identical
+        results to the normal constructor given equal inputs.
+
+        ``streams`` must already carry resolved latencies (every
+        ``MessageStream.latency`` set); ``channels``, ``blockers`` and
+        ``hp_sets`` must cover exactly the ids in ``streams``.
+        """
+        if len(streams) == 0:
+            raise AnalysisError("cannot analyse an empty stream set")
+        ids = set(streams.ids())
+        for name, mapping in (
+            ("channels", channels),
+            ("blockers", blockers),
+            ("hp_sets", hp_sets),
+        ):
+            missing = ids - set(mapping)
+            if missing:
+                raise AnalysisError(
+                    f"from_prepared: {name} misses stream ids "
+                    f"{sorted(missing)}"
+                )
+        unresolved = [s.stream_id for s in streams if s.latency is None]
+        if unresolved:
+            raise AnalysisError(
+                f"from_prepared: streams {unresolved} have no resolved "
+                "latency"
+            )
+        if residency_margin < 0:
+            raise AnalysisError(
+                f"residency_margin must be >= 0, got {residency_margin}"
+            )
+        self = cls.__new__(cls)
+        self.residency_margin = residency_margin
+        self.routing = routing
+        self.latency_model = latency_model or NoLoadLatency()
+        self.use_modify = use_modify
+        self.modify_fixpoint = modify_fixpoint
+        self.modify_granularity = modify_granularity
+        self.channels = dict(channels)
+        self.streams = streams
+        self.blockers = dict(blockers)
+        self.hp_sets = dict(hp_sets)
+        return self
 
     # ------------------------------------------------------------------ #
     # Per-stream bound (Cal_U)

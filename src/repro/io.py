@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from .core.feasibility import FeasibilityReport
 from .core.streams import MessageStream, StreamSet
@@ -43,6 +43,8 @@ __all__ = [
     "topology_from_spec",
     "load_problem",
     "save_problem",
+    "stream_from_spec",
+    "stream_to_spec",
     "streams_to_spec",
     "report_to_spec",
 ]
@@ -75,6 +77,56 @@ def _node(topology: Topology, ref: Union[int, list]) -> int:
     return topology.validate_node(int(ref))
 
 
+def stream_from_spec(
+    topology: Topology,
+    entry: Dict[str, Any],
+    *,
+    stream_id: Optional[int] = None,
+) -> MessageStream:
+    """Build one :class:`MessageStream` from a problem-file stream entry.
+
+    ``src``/``dst`` may be coordinate lists (``[x, y, ...]``) or plain
+    integer node ids. ``stream_id`` overrides the entry's ``id`` key (the
+    broker service uses this to assign server-side ids); exactly one of
+    the two must be present.
+    """
+    if stream_id is None:
+        if "id" not in entry:
+            raise ReproError("stream entry needs an 'id' key")
+        stream_id = int(entry["id"])
+    missing = [k for k in ("src", "dst", "priority", "period", "length",
+                           "deadline") if k not in entry]
+    if missing:
+        raise ReproError(f"stream entry misses key(s) {missing}")
+    return MessageStream(
+        stream_id=stream_id,
+        src=_node(topology, entry["src"]),
+        dst=_node(topology, entry["dst"]),
+        priority=int(entry["priority"]),
+        period=int(entry["period"]),
+        length=int(entry["length"]),
+        deadline=int(entry["deadline"]),
+        latency=(int(entry["latency"])
+                 if entry.get("latency") is not None else None),
+    )
+
+
+def stream_to_spec(stream: MessageStream) -> Dict[str, Any]:
+    """Serialise one stream to the problem-file entry form."""
+    entry = {
+        "id": stream.stream_id,
+        "src": stream.src,
+        "dst": stream.dst,
+        "priority": stream.priority,
+        "period": stream.period,
+        "length": stream.length,
+        "deadline": stream.deadline,
+    }
+    if stream.latency is not None:
+        entry["latency"] = stream.latency
+    return entry
+
+
 def load_problem(
     path: Union[str, Path]
 ) -> Tuple[Topology, RoutingAlgorithm, StreamSet]:
@@ -91,37 +143,13 @@ def load_problem(
         raise ReproError("problem file needs a 'streams' list")
     streams = StreamSet()
     for entry in spec["streams"]:
-        streams.add(MessageStream(
-            stream_id=int(entry["id"]),
-            src=_node(topology, entry["src"]),
-            dst=_node(topology, entry["dst"]),
-            priority=int(entry["priority"]),
-            period=int(entry["period"]),
-            length=int(entry["length"]),
-            deadline=int(entry["deadline"]),
-            latency=(int(entry["latency"])
-                     if entry.get("latency") is not None else None),
-        ))
+        streams.add(stream_from_spec(topology, entry))
     return topology, routing, streams
 
 
 def streams_to_spec(streams: StreamSet) -> list:
     """Serialise a stream set to the problem-file stream list."""
-    out = []
-    for s in streams:
-        entry = {
-            "id": s.stream_id,
-            "src": s.src,
-            "dst": s.dst,
-            "priority": s.priority,
-            "period": s.period,
-            "length": s.length,
-            "deadline": s.deadline,
-        }
-        if s.latency is not None:
-            entry["latency"] = s.latency
-        out.append(entry)
-    return out
+    return [stream_to_spec(s) for s in streams]
 
 
 def save_problem(

@@ -1,0 +1,500 @@
+"""Incremental admission engine: feasibility with per-stream caches.
+
+The full :class:`~repro.core.feasibility.FeasibilityAnalyzer` rebuilds
+routes, the direct-blocking relation, every HP set and every delay bound
+from scratch — O(n) ``Cal_U`` runs per request, each over a timing diagram
+of the whole HP closure. An online broker doing that for every admit and
+release wastes nearly all of it: a request only perturbs the analysis of
+streams whose transitive HP closure reaches a changed stream.
+
+This engine maintains, between requests:
+
+* a route cache keyed by ``(src, dst)`` (routes never change for a pair);
+* per-stream channel sets and a channel -> users index, so the streams
+  that overlap a new route are found by link lookup, not an O(n) scan;
+* the direct-blocking relation and its reverse adjacency;
+* per-stream HP sets and :class:`~repro.core.feasibility.StreamVerdict`\\ s.
+
+**Invalidation rule (link-overlap / closure reachability).** A verdict for
+stream ``j`` depends only on ``j`` itself, ``HP_j``, the parameters of the
+HP members, and the direct-blocking relation restricted to that closure
+(the BDG of :mod:`repro.core.bdg` filters edges to the closure's nodes).
+Every one of those inputs is a function of the blocked-by graph reachable
+from ``j``; a change at stream ``k`` can therefore affect ``j`` iff ``k``
+is reachable from ``j``. So the *dirty set* of an op is the reverse
+reachability of the changed ids:
+
+* admit ``k``: every ``j`` that reaches ``k`` in the **new** graph
+  (new edges are all incident to ``k``, so any changed closure contains it);
+* release ``k``: every ``j`` that reached ``k`` in the **old** graph.
+
+Everything else keeps its cached verdict, which is bit-identical to what a
+fresh analyzer would compute because ``Cal_U`` is a pure function of the
+inputs listed above. When the dirty frontier covers the whole set the
+engine falls back to a plain full :class:`FeasibilityAnalyzer` run (and
+adopts its structures as the new caches).
+
+Set ``REPRO_INCREMENTAL=0`` to force the full path on every op — the
+escape hatch used by CI's equivalence leg and the perf baseline.
+
+**Closure-scoped guarantees (finding F-7).** A stream's bound is only a
+guarantee while its transitive HP closure is itself admitted (the bound
+conditions on those streams' behaviour). Inside the broker the closure is
+admitted by construction — HP members come from the admitted set — and
+:meth:`IncrementalAdmissionEngine.closure` reports the exact id set each
+guarantee is scoped to, so clients can propagate the condition.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..core.admission import AdmissionDecision
+from ..core.feasibility import (
+    FeasibilityAnalyzer,
+    FeasibilityReport,
+    StreamVerdict,
+)
+from ..core.hpset import HPSet, build_hp_set
+from ..core.latency import LatencyModel, NoLoadLatency
+from ..core.streams import MessageStream, StreamSet
+from ..errors import AnalysisError, StreamError
+from ..topology.base import Channel
+from ..topology.routing import RoutingAlgorithm
+
+__all__ = ["EngineStats", "IncrementalAdmissionEngine"]
+
+
+def incremental_enabled_default() -> bool:
+    """Whether incremental recomputation is on (``REPRO_INCREMENTAL`` != 0)."""
+    return os.environ.get("REPRO_INCREMENTAL", "1") != "0"
+
+
+@dataclass
+class EngineStats:
+    """Cache-effectiveness counters, exposed through the ``stats`` op."""
+
+    ops: int = 0
+    admits: int = 0
+    rejects: int = 0
+    releases: int = 0
+    verdicts_recomputed: int = 0
+    verdicts_reused: int = 0
+    hp_rebuilt: int = 0
+    full_fallbacks: int = 0
+    route_cache_hits: int = 0
+    route_cache_misses: int = 0
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of per-op verdicts served from cache."""
+        total = self.verdicts_recomputed + self.verdicts_reused
+        return self.verdicts_reused / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        out = {k: getattr(self, k) for k in (
+            "ops", "admits", "rejects", "releases",
+            "verdicts_recomputed", "verdicts_reused", "hp_rebuilt",
+            "full_fallbacks", "route_cache_hits", "route_cache_misses",
+        )}
+        out["cache_hit_rate"] = round(self.cache_hit_rate(), 4)
+        return out
+
+
+class IncrementalAdmissionEngine:
+    """Admission control with incremental feasibility recomputation.
+
+    Drop-in analogue of :class:`~repro.core.admission.AdmissionController`
+    (same ``try_admit`` / ``release`` / ``current_report`` / ``fresh_id``
+    surface, same all-or-nothing batch semantics) that keeps its analysis
+    warm between requests. Reports are bit-identical to a from-scratch
+    :class:`FeasibilityAnalyzer` over the same admitted set.
+
+    Parameters
+    ----------
+    routing:
+        Deterministic routing function of the managed network.
+    latency_model:
+        No-load latency model (paper default).
+    use_modify:
+        Whether the analysis applies ``Modify_Diagram``.
+    residency_margin:
+        Passed through to the analyzer (see finding F-4).
+    incremental:
+        ``True``/``False`` force the mode; ``None`` (default) reads the
+        ``REPRO_INCREMENTAL`` environment variable (unset/``1`` = on).
+    """
+
+    def __init__(
+        self,
+        routing: RoutingAlgorithm,
+        *,
+        latency_model: Optional[LatencyModel] = None,
+        use_modify: bool = True,
+        residency_margin: int = 0,
+        incremental: Optional[bool] = None,
+    ):
+        self.routing = routing
+        self.latency_model = latency_model or NoLoadLatency()
+        self.use_modify = use_modify
+        self.residency_margin = residency_margin
+        if incremental is None:
+            incremental = incremental_enabled_default()
+        self.incremental = bool(incremental)
+        self.stats = EngineStats()
+
+        self._admitted = StreamSet()   # streams as requested (raw latency)
+        self._resolved = StreamSet()   # latencies resolved over the route
+        self._next_id = 0
+        # Caches (all id-keyed, values immutable except _rev's sets).
+        self._route_cache: Dict[Tuple[int, int], FrozenSet[Channel]] = {}
+        self._channels: Dict[int, FrozenSet[Channel]] = {}
+        self._channel_users: Dict[Channel, FrozenSet[int]] = {}
+        self._blockers: Dict[int, Tuple[int, ...]] = {}
+        self._rev: Dict[int, Set[int]] = {}
+        self._hp_sets: Dict[int, HPSet] = {}
+        self._verdicts: Dict[int, StreamVerdict] = {}
+
+    # ------------------------------------------------------------------ #
+    # Public surface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def admitted(self) -> StreamSet:
+        """The currently admitted stream set (a live view; do not mutate)."""
+        return self._admitted
+
+    def fresh_id(self) -> int:
+        """Return a never-before-seen stream id (monotonic, no reuse)."""
+        while self._next_id in self._admitted:
+            self._next_id += 1
+        nid = self._next_id
+        self._next_id += 1
+        return nid
+
+    def closure(self, stream_id: int) -> Tuple[int, ...]:
+        """Return the transitive HP closure the stream's guarantee is
+        scoped to (finding F-7): every admitted id whose behaviour the
+        stream's bound conditions on, ascending."""
+        if stream_id not in self._admitted:
+            raise StreamError(f"no admitted stream with id {stream_id}")
+        return self._hp_sets[stream_id].ids()
+
+    def verdict(self, stream_id: int) -> StreamVerdict:
+        """Return the cached verdict of one admitted stream."""
+        if stream_id not in self._admitted:
+            raise StreamError(f"no admitted stream with id {stream_id}")
+        return self._verdicts[stream_id]
+
+    def current_report(self) -> FeasibilityReport:
+        """Report over the admitted set, from cache (no recomputation).
+
+        An empty admitted set is vacuously feasible.
+        """
+        if len(self._resolved) == 0:
+            return FeasibilityReport.trivial()
+        return self._report_from_cache()
+
+    def try_admit(
+        self, requests: MessageStream | Iterable[MessageStream]
+    ) -> AdmissionDecision:
+        """Test a request (stream or job batch) and admit it if feasible.
+
+        All-or-nothing: rejection leaves the admitted set (and every
+        cache) untouched, and an admitted stream can never break an
+        existing guarantee — the trial covers the union.
+        """
+        if isinstance(requests, MessageStream):
+            requests = (requests,)
+        requests = tuple(requests)
+        if not requests:
+            raise AnalysisError("empty admission request")
+        dup = [r.stream_id for r in requests if r.stream_id in self._admitted]
+        ids = [r.stream_id for r in requests]
+        if dup or len(set(ids)) != len(ids):
+            raise StreamError(
+                f"duplicate stream id(s) in admission request: "
+                f"{sorted(set(dup or ids))}"
+            )
+        top = max(ids)
+        if top >= self._next_id:
+            self._next_id = top + 1
+
+        self.stats.ops += 1
+        if not self.incremental:
+            decision = self._full_admit(requests)
+        else:
+            decision = self._incremental_admit(requests)
+        if decision.admitted:
+            self.stats.admits += 1
+        else:
+            self.stats.rejects += 1
+        return decision
+
+    def release(self, stream_ids: int | Iterable[int]) -> None:
+        """Remove streams from the admitted set, updating only the
+        verdicts whose HP closure reached a removed stream.
+
+        Validated up front: unknown ids raise :class:`StreamError` naming
+        them and nothing is removed.
+        """
+        if isinstance(stream_ids, int):
+            stream_ids = (stream_ids,)
+        ids = tuple(dict.fromkeys(stream_ids))
+        if not ids:
+            return
+        unknown = sorted(sid for sid in ids if sid not in self._admitted)
+        if unknown:
+            raise StreamError(
+                f"cannot release stream id(s) {unknown}: not admitted"
+            )
+        self.stats.ops += 1
+        self.stats.releases += 1
+        if not self.incremental:
+            for sid in ids:
+                self._admitted.remove(sid)
+            self._full_rebuild()
+            return
+        # Dirty set on the OLD graph: whoever could reach a removed id.
+        dirty = self._reverse_reachable(ids) - set(ids)
+        for sid in ids:
+            self._detach(sid)
+        if dirty and len(dirty) >= len(self._admitted):
+            self._full_rebuild()
+            self.stats.full_fallbacks += 1
+            return
+        self._refresh(dirty)
+
+    # ------------------------------------------------------------------ #
+    # Admission paths
+    # ------------------------------------------------------------------ #
+
+    def _incremental_admit(
+        self, requests: Tuple[MessageStream, ...]
+    ) -> AdmissionDecision:
+        saved = self._snapshot_caches()
+        for r in requests:
+            self._attach(r)
+        added = [r.stream_id for r in requests]
+        dirty = self._reverse_reachable(added)
+        dirty.update(added)
+        if len(dirty) >= len(self._admitted):
+            report = self._full_rebuild()
+            self.stats.full_fallbacks += 1
+        else:
+            self._refresh(dirty)
+            report = self._report_from_cache()
+        if report.success:
+            return AdmissionDecision(True, report, ())
+        self._restore_caches(saved)
+        return AdmissionDecision(False, report, report.infeasible_ids())
+
+    def _full_admit(
+        self, requests: Tuple[MessageStream, ...]
+    ) -> AdmissionDecision:
+        saved = self._snapshot_caches()
+        for r in requests:
+            self._attach(r, structures_only=True)
+        report = self._full_rebuild()
+        if report.success:
+            return AdmissionDecision(True, report, ())
+        self._restore_caches(saved)
+        return AdmissionDecision(False, report, report.infeasible_ids())
+
+    def _full_rebuild(self) -> FeasibilityReport:
+        """Recompute everything with a plain analyzer; adopt its caches."""
+        if len(self._admitted) == 0:
+            self._resolved = StreamSet()
+            self._channels.clear()
+            self._channel_users.clear()
+            self._blockers.clear()
+            self._rev.clear()
+            self._hp_sets.clear()
+            self._verdicts.clear()
+            return FeasibilityReport.trivial()
+        analyzer = FeasibilityAnalyzer(
+            StreamSet(self._admitted),
+            self.routing,
+            latency_model=self.latency_model,
+            use_modify=self.use_modify,
+            residency_margin=self.residency_margin,
+        )
+        report = analyzer.determine_feasibility()
+        self._resolved = analyzer.streams
+        self._channels = dict(analyzer.channels)
+        self._blockers = dict(analyzer.blockers)
+        self._hp_sets = dict(analyzer.hp_sets)
+        self._verdicts = dict(report.verdicts)
+        self._rebuild_indexes()
+        self.stats.verdicts_recomputed += len(report.verdicts)
+        return report
+
+    def _refresh(self, dirty: Set[int]) -> None:
+        """Rebuild HP sets and verdicts for the dirty ids only."""
+        if not dirty:
+            self.stats.verdicts_reused += len(self._verdicts)
+            return
+        for j in sorted(dirty):
+            self._hp_sets[j] = build_hp_set(
+                self._resolved[j], self._resolved, self._blockers
+            )
+            self.stats.hp_rebuilt += 1
+        analyzer = FeasibilityAnalyzer.from_prepared(
+            self._resolved,
+            self._channels,
+            self._blockers,
+            self._hp_sets,
+            routing=self.routing,
+            latency_model=self.latency_model,
+            use_modify=self.use_modify,
+            residency_margin=self.residency_margin,
+        )
+        for j in sorted(dirty):
+            self._verdicts[j] = analyzer.cal_u(j)
+        self.stats.verdicts_recomputed += len(dirty)
+        self.stats.verdicts_reused += len(self._verdicts) - len(dirty)
+
+    def _report_from_cache(self) -> FeasibilityReport:
+        # Same construction order as determine_feasibility for bit-identity.
+        verdicts: Dict[int, StreamVerdict] = {}
+        for stream in self._resolved.sorted_by_priority():
+            verdicts[stream.stream_id] = self._verdicts[stream.stream_id]
+        success = all(v.feasible for v in verdicts.values())
+        return FeasibilityReport(verdicts=verdicts, success=success)
+
+    # ------------------------------------------------------------------ #
+    # Structure maintenance
+    # ------------------------------------------------------------------ #
+
+    def _route(self, src: int, dst: int) -> FrozenSet[Channel]:
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            self.stats.route_cache_hits += 1
+            return cached
+        self.stats.route_cache_misses += 1
+        chans = frozenset(self.routing.route_channels(src, dst))
+        self._route_cache[key] = chans
+        return chans
+
+    def _attach(
+        self, stream: MessageStream, *, structures_only: bool = False
+    ) -> None:
+        """Add one stream to the admitted set and the dependency indexes.
+
+        With ``structures_only`` (full mode) only the admitted set is
+        maintained — the analyzer rebuild supplies the rest.
+        """
+        self._admitted.add(stream)
+        if structures_only:
+            return
+        k = stream.stream_id
+        chans = self._route(stream.src, stream.dst)
+        self._channels[k] = chans
+        if stream.latency is None:
+            resolved = stream.with_latency(
+                self.latency_model.latency(stream, len(chans))
+            )
+        else:
+            resolved = stream
+        self._resolved.add(resolved)
+
+        overlap: Set[int] = set()
+        for c in chans:
+            overlap |= self._channel_users.get(c, frozenset())
+            self._channel_users[c] = (
+                self._channel_users.get(c, frozenset()) | {k}
+            )
+        bk: List[int] = []
+        self._rev.setdefault(k, set())
+        for j in overlap:
+            other = self._resolved[j]
+            if other.priority >= stream.priority:
+                bk.append(j)
+                self._rev[j].add(k)
+            if stream.priority >= other.priority:
+                self._blockers[j] = tuple(sorted(self._blockers[j] + (k,)))
+                self._rev[k].add(j)
+        self._blockers[k] = tuple(sorted(bk))
+
+    def _detach(self, sid: int) -> None:
+        """Remove one stream from the admitted set and every index."""
+        self._admitted.remove(sid)
+        self._resolved.remove(sid)
+        for c in self._channels.pop(sid):
+            users = self._channel_users[c] - {sid}
+            if users:
+                self._channel_users[c] = users
+            else:
+                del self._channel_users[c]
+        for j in self._rev.pop(sid, set()):
+            if j in self._blockers:
+                self._blockers[j] = tuple(
+                    x for x in self._blockers[j] if x != sid
+                )
+        for v in self._blockers.pop(sid, ()):
+            if v in self._rev:
+                self._rev[v].discard(sid)
+        self._hp_sets.pop(sid, None)
+        self._verdicts.pop(sid, None)
+
+    def _reverse_reachable(self, seeds: Iterable[int]) -> Set[int]:
+        """Ids that can reach any seed via blocked-by edges (seeds incl.)."""
+        seen: Set[int] = set()
+        frontier = [s for s in seeds if s in self._blockers]
+        while frontier:
+            v = frontier.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            frontier.extend(self._rev.get(v, ()))
+        return seen
+
+    def _rebuild_indexes(self) -> None:
+        """Derive channel-users and reverse adjacency from the caches."""
+        self._channel_users = {}
+        users: Dict[Channel, Set[int]] = {}
+        for sid, chans in self._channels.items():
+            for c in chans:
+                users.setdefault(c, set()).add(sid)
+        self._channel_users = {c: frozenset(v) for c, v in users.items()}
+        self._rev = {sid: set() for sid in self._blockers}
+        for sid, bl in self._blockers.items():
+            for v in bl:
+                self._rev[v].add(sid)
+
+    # ------------------------------------------------------------------ #
+    # Rollback (rejected admissions)
+    # ------------------------------------------------------------------ #
+
+    def _snapshot_caches(self):
+        return (
+            StreamSet(self._admitted),
+            StreamSet(self._resolved),
+            dict(self._channels),
+            dict(self._channel_users),
+            dict(self._blockers),
+            {k: set(v) for k, v in self._rev.items()},
+            dict(self._hp_sets),
+            dict(self._verdicts),
+        )
+
+    def _restore_caches(self, saved) -> None:
+        (
+            self._admitted,
+            self._resolved,
+            self._channels,
+            self._channel_users,
+            self._blockers,
+            self._rev,
+            self._hp_sets,
+            self._verdicts,
+        ) = saved
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "incremental" if self.incremental else "full"
+        return (
+            f"IncrementalAdmissionEngine(admitted={len(self._admitted)}, "
+            f"mode={mode})"
+        )

@@ -1,0 +1,229 @@
+"""Load-generator client for the channel broker (``repro load``).
+
+:class:`BrokerClient` is a small synchronous JSON-lines client (unix
+socket or TCP) used by the CI smoke job, the perf harness
+(``benchmarks/perf/run_admission.py``) and scripts. The load generator
+replays seeded admit/release churn against a broker: it keeps a target
+number of live streams, admitting locality-biased random streams and
+releasing random live ones, and reports throughput, acceptance rate and
+the server's own stats.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import ReproError
+
+__all__ = ["BrokerClient", "LoadSummary", "churn_spec", "run_load"]
+
+
+class BrokerClient:
+    """Blocking JSON-lines client for one broker connection."""
+
+    def __init__(
+        self,
+        *,
+        socket_path: Optional[Union[str, Path]] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: float = 30.0,
+    ):
+        if (socket_path is None) == (host is None):
+            raise ReproError("pass exactly one of socket_path or host/port")
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(str(socket_path))
+        else:
+            assert port is not None
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        self._fh = self._sock.makefile("rwb")
+        self._seq = 0
+
+    @classmethod
+    def wait_for_unix(
+        cls,
+        socket_path: Union[str, Path],
+        *,
+        timeout: float = 10.0,
+        **kwargs,
+    ) -> "BrokerClient":
+        """Connect to a unix socket, retrying until the server is up."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return cls(socket_path=socket_path, **kwargs)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise ReproError(
+                        f"broker did not come up on {socket_path} within "
+                        f"{timeout:.0f}s"
+                    ) from None
+                time.sleep(0.05)
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one op and return the matching response."""
+        self._seq += 1
+        payload = {"op": op, "id": self._seq, **fields}
+        self._fh.write(
+            (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+        )
+        self._fh.flush()
+        line = self._fh.readline()
+        if not line:
+            raise ReproError("broker closed the connection")
+        response = json.loads(line.decode("utf-8"))
+        if response.get("id") not in (None, self._seq):
+            raise ReproError(
+                f"response id {response.get('id')} does not match "
+                f"request id {self._seq}"
+            )
+        return response
+
+    def check(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Like :meth:`request` but raises on ``ok: false`` responses."""
+        response = self.request(op, **fields)
+        if not response.get("ok"):
+            raise ReproError(
+                f"broker op {op!r} failed: {response.get('error')}"
+            )
+        return response
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "BrokerClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# Churn workload
+# ---------------------------------------------------------------------- #
+
+
+def churn_spec(
+    rng: random.Random,
+    nodes: int,
+    *,
+    priority_levels: int = 15,
+) -> Dict[str, int]:
+    """Draw one random stream spec (integer node ids, no explicit id).
+
+    Node pairs are drawn uniformly; periods/deadlines are generous
+    relative to message lengths so a healthy fraction of requests admits
+    even at high occupancy (the interesting regime for a broker).
+    """
+    src = rng.randrange(nodes)
+    dst = rng.randrange(nodes)
+    while dst == src:
+        dst = rng.randrange(nodes)
+    length = rng.randint(1, 8)
+    period = rng.randint(80, 400)
+    return {
+        "src": src,
+        "dst": dst,
+        "priority": rng.randint(1, priority_levels),
+        "period": period,
+        "length": length,
+        "deadline": rng.randint(period // 2, period),
+    }
+
+
+@dataclass
+class LoadSummary:
+    """Outcome of one load run, printed as JSON by ``repro load``."""
+
+    ops: int = 0
+    admits_tried: int = 0
+    admits_accepted: int = 0
+    releases: int = 0
+    errors: int = 0
+    seconds: float = 0.0
+    live_at_end: int = 0
+    server_stats: Dict[str, Any] = field(default_factory=dict)
+
+    def ops_per_second(self) -> float:
+        return self.ops / self.seconds if self.seconds else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ops": self.ops,
+            "admits_tried": self.admits_tried,
+            "admits_accepted": self.admits_accepted,
+            "acceptance_rate": round(
+                self.admits_accepted / self.admits_tried, 4
+            ) if self.admits_tried else None,
+            "releases": self.releases,
+            "errors": self.errors,
+            "seconds": round(self.seconds, 3),
+            "ops_per_second": round(self.ops_per_second(), 1),
+            "live_at_end": self.live_at_end,
+            "server_stats": self.server_stats,
+        }
+
+
+def run_load(
+    client: BrokerClient,
+    *,
+    ops: int = 300,
+    seed: int = 0,
+    target_live: int = 40,
+    batch_size: int = 1,
+) -> LoadSummary:
+    """Replay seeded admit/release churn through an open client.
+
+    Below ``target_live`` admitted streams the generator mostly admits;
+    above it, it mostly releases — holding occupancy near the target,
+    which is where admission decisions are non-trivial.
+    """
+    rng = random.Random(seed)
+    hello = client.check("hello")
+    nodes = int(hello["nodes"])
+    live: List[int] = []
+    summary = LoadSummary()
+    t0 = time.perf_counter()
+    for _ in range(ops):
+        admit = (len(live) < target_live
+                 if rng.random() < 0.8 else len(live) >= target_live)
+        if admit or not live:
+            specs = [churn_spec(rng, nodes)
+                     for _ in range(max(1, batch_size))]
+            response = client.request("admit", streams=specs)
+            summary.admits_tried += 1
+            if response.get("ok") and response.get("admitted"):
+                summary.admits_accepted += 1
+                live.extend(response["ids"])
+            elif not response.get("ok"):
+                summary.errors += 1
+        else:
+            sid = live.pop(rng.randrange(len(live)))
+            response = client.request("release", ids=[sid])
+            summary.releases += 1
+            if not response.get("ok"):
+                summary.errors += 1
+        summary.ops += 1
+    summary.seconds = time.perf_counter() - t0
+    summary.live_at_end = len(live)
+    stats = client.request("stats")
+    if stats.get("ok"):
+        summary.server_stats = {
+            "admitted": stats.get("admitted"),
+            "engine": stats.get("engine"),
+            "batching": stats.get("service", {}).get("batching"),
+        }
+    return summary

@@ -1,0 +1,129 @@
+"""Per-op service metrics: counters and log-scale latency histograms.
+
+The broker tracks, per protocol op, a request counter and a latency
+histogram with power-of-two bucket boundaries (microseconds up to ~8 s),
+plus admit/reject outcome counters and the batch sizes the worker drained
+from the request queue. Everything is exposed through the ``stats`` op —
+no external metrics dependency is assumed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["LatencyHistogram", "ServiceMetrics"]
+
+# Bucket upper bounds in microseconds: 1us, 2us, ... ~8.4s, +inf.
+_BUCKET_BOUNDS_US = [1 << i for i in range(24)]
+
+
+class LatencyHistogram:
+    """Latency histogram with power-of-two microsecond buckets."""
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * (len(_BUCKET_BOUNDS_US) + 1)
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        us = seconds * 1e6
+        for i, bound in enumerate(_BUCKET_BOUNDS_US):
+            if us <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.count += 1
+        self.total_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate quantile in seconds (bucket upper bound), or
+        ``None`` when empty."""
+        if self.count == 0:
+            return None
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target:
+                if i < len(_BUCKET_BOUNDS_US):
+                    return _BUCKET_BOUNDS_US[i] / 1e6
+                return self.max_seconds
+        return self.max_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        buckets = {
+            f"le_{bound}us": c
+            for bound, c in zip(_BUCKET_BOUNDS_US, self.counts)
+            if c
+        }
+        if self.counts[-1]:
+            buckets["le_inf"] = self.counts[-1]
+        mean = self.total_seconds / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_ms": round(mean * 1e3, 4),
+            "max_ms": round(self.max_seconds * 1e3, 4),
+            "p50_ms": _ms(self.quantile(0.5)),
+            "p99_ms": _ms(self.quantile(0.99)),
+            "buckets": buckets,
+        }
+
+
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else round(seconds * 1e3, 4)
+
+
+class ServiceMetrics:
+    """Aggregated broker metrics, serialised by the ``stats`` op."""
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        self.op_counts: Dict[str, int] = {}
+        self.op_errors: Dict[str, int] = {}
+        self.op_latency: Dict[str, LatencyHistogram] = {}
+        self.admitted_ok = 0
+        self.admitted_rejected = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch = 0
+        self.connections = 0
+
+    def record_op(self, op: str, seconds: float, *, error: bool = False) -> None:
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        if error:
+            self.op_errors[op] = self.op_errors.get(op, 0) + 1
+        self.op_latency.setdefault(op, LatencyHistogram()).record(seconds)
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_requests += size
+        self.max_batch = max(self.max_batch, size)
+
+    def to_dict(self) -> Dict[str, object]:
+        mean_batch = (
+            self.batched_requests / self.batches if self.batches else 0.0
+        )
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "connections": self.connections,
+            "ops": dict(sorted(self.op_counts.items())),
+            "errors": dict(sorted(self.op_errors.items())),
+            "admit": {
+                "accepted": self.admitted_ok,
+                "rejected": self.admitted_rejected,
+            },
+            "batching": {
+                "batches": self.batches,
+                "requests": self.batched_requests,
+                "mean_size": round(mean_batch, 3),
+                "max_size": self.max_batch,
+            },
+            "latency": {
+                op: h.to_dict()
+                for op, h in sorted(self.op_latency.items())
+            },
+        }

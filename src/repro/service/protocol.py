@@ -1,0 +1,102 @@
+"""JSON-lines wire protocol of the channel broker.
+
+One request per line, one response per line, UTF-8 JSON objects. Every
+request carries an ``op`` and may carry a client-chosen ``id`` echoed back
+verbatim in the response (useful for pipelining). Responses always carry
+``ok`` (bool); failures add ``error`` (message) and ``code``.
+
+Ops
+---
+``hello``
+    Server identity: name, version, topology spec, node count, engine
+    mode. Clients use the topology to build stream specs.
+``admit``
+    ``streams``: list of problem-file stream entries (``src``/``dst`` may
+    be coordinate lists or node ids; ``id`` optional — the broker assigns
+    monotonic ids when absent). All-or-nothing: the whole batch is
+    admitted or the admitted set is untouched. Response: ``admitted``,
+    assigned ``ids``, per-stream ``bounds``, ``violations`` (ids whose
+    bound broke in the trial), and ``closures`` — the transitive HP
+    closure each new guarantee is scoped to (finding F-7: a bound is only
+    a guarantee while its closure stays admitted).
+``release``
+    ``ids``: list of admitted ids to remove. Unknown ids fail the whole
+    request (nothing is removed).
+``query``
+    ``stream``: one admitted id -> stream spec, bound, slack, closure.
+``report``
+    Full feasibility report of the admitted set (trivial success when
+    empty).
+``snapshot``
+    Persist the admitted set to the snapshot file and truncate the
+    journal. Requires the server to run with a state dir.
+``stats``
+    Per-op metrics, engine cache counters, admitted count.
+``shutdown``
+    Acknowledge, then stop the server gracefully.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..errors import ReproError
+
+__all__ = [
+    "ProtocolError",
+    "encode",
+    "decode",
+    "error_response",
+]
+
+#: Ops the server accepts (``hello``/``ping`` are aliases).
+KNOWN_OPS = (
+    "hello",
+    "ping",
+    "admit",
+    "release",
+    "query",
+    "report",
+    "snapshot",
+    "stats",
+    "shutdown",
+)
+
+
+class ProtocolError(ReproError):
+    """Raised for malformed broker requests (bad JSON, unknown op, ...)."""
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """Serialise one protocol message to a JSON line."""
+    return (json.dumps(message, separators=(",", ":"),
+                       sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    """Parse one request line; validates shape and op name."""
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = obj.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request needs a string 'op' field")
+    if op not in KNOWN_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (expected one of {', '.join(KNOWN_OPS)})"
+        )
+    return obj
+
+
+def error_response(
+    request: Dict[str, Any], message: str, *, code: str = "error"
+) -> Dict[str, Any]:
+    """Build a failure response, echoing the request id when present."""
+    resp: Dict[str, Any] = {"ok": False, "error": message, "code": code}
+    if isinstance(request, dict) and "id" in request:
+        resp["id"] = request["id"]
+    return resp

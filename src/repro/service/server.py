@@ -1,0 +1,349 @@
+"""Asyncio JSON-lines broker server (``repro serve``).
+
+Architecture: connection handlers only read lines and enqueue
+``(request, connection)`` pairs on a single FIFO; one worker task drains
+the queue in batches (amortising event-loop wakeups under load — the
+recorded batch sizes are visible in the ``stats`` op) and runs the
+CPU-bound admission engine serially, which also makes every decision
+linearisable without locks. Responses preserve per-connection request
+order because the FIFO does.
+
+The server optionally persists its admitted set (snapshot + journal, see
+:mod:`repro.service.persistence`) and recovers it on startup by replaying
+through the engine — deterministic analysis makes the recovered state
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .. import __version__
+from ..core.streams import MessageStream
+from ..errors import AnalysisError, ReproError, StreamError
+from ..io import stream_from_spec, stream_to_spec, report_to_spec, topology_from_spec
+from .engine import IncrementalAdmissionEngine
+from .metrics import ServiceMetrics
+from .persistence import BrokerState
+from .protocol import ProtocolError, decode, encode, error_response
+
+__all__ = ["BrokerServer"]
+
+
+def _error_code(exc: ReproError) -> str:
+    if isinstance(exc, ProtocolError):
+        return "protocol"
+    if isinstance(exc, StreamError):
+        return "stream"
+    if isinstance(exc, AnalysisError):
+        return "analysis"
+    return "error"
+
+
+class BrokerServer:
+    """The channel broker: engine + protocol + metrics + persistence.
+
+    Parameters
+    ----------
+    topology_spec:
+        Problem-file topology spec (``{"type": "mesh", "width": 8, ...}``).
+    state_dir:
+        Directory for snapshot + journal; ``None`` disables persistence.
+    incremental:
+        Engine mode override; ``None`` reads ``REPRO_INCREMENTAL``.
+    batch_max:
+        Maximum requests the worker drains per wakeup.
+    """
+
+    def __init__(
+        self,
+        topology_spec: Dict[str, Any],
+        *,
+        state_dir: Optional[Union[str, Path]] = None,
+        use_modify: bool = True,
+        residency_margin: int = 0,
+        incremental: Optional[bool] = None,
+        batch_max: int = 64,
+    ):
+        self.topology_spec = dict(topology_spec)
+        self.topology, self.routing = topology_from_spec(self.topology_spec)
+        self.engine = IncrementalAdmissionEngine(
+            self.routing,
+            use_modify=use_modify,
+            residency_margin=residency_margin,
+            incremental=incremental,
+        )
+        self.metrics = ServiceMetrics()
+        self.batch_max = max(1, int(batch_max))
+        self.state: Optional[BrokerState] = None
+        if state_dir is not None:
+            self.state = BrokerState(state_dir, self.topology_spec)
+            self._recover()
+        self._queue: Optional[asyncio.Queue] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._worker_task: Optional[asyncio.Task] = None
+        self._stopping: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+
+    def _recover(self) -> None:
+        assert self.state is not None
+        snapshot, ops = self.state.recover()
+        if snapshot:
+            self._admit_entries(snapshot, replay=True)
+        for op in ops:
+            if op.get("op") == "admit":
+                self._admit_entries(op["streams"], replay=True)
+            elif op.get("op") == "release":
+                self.engine.release([int(i) for i in op["ids"]])
+            else:  # pragma: no cover - defensive
+                raise ReproError(f"unknown journal op {op.get('op')!r}")
+        if snapshot or ops:
+            self.state.compact(self.engine.admitted)
+
+    def _admit_entries(
+        self, entries: List[dict], *, replay: bool = False
+    ) -> Tuple[List[int], Any]:
+        streams: List[MessageStream] = []
+        for entry in entries:
+            if not isinstance(entry, dict):
+                raise ProtocolError("'streams' entries must be objects")
+            sid = (int(entry["id"]) if entry.get("id") is not None
+                   else self.engine.fresh_id())
+            streams.append(
+                stream_from_spec(self.topology, entry, stream_id=sid)
+            )
+        decision = self.engine.try_admit(streams)
+        if replay and not decision.admitted:  # pragma: no cover - defensive
+            raise ReproError(
+                "journal replay failed: previously admitted batch "
+                f"{[s.stream_id for s in streams]} now rejected"
+            )
+        return [s.stream_id for s in streams], decision
+
+    # ------------------------------------------------------------------ #
+    # Op dispatch (synchronous; also the unit-test surface)
+    # ------------------------------------------------------------------ #
+
+    def handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one protocol request and return the response object."""
+        op = request.get("op")
+        t0 = time.perf_counter()
+        try:
+            response = self._dispatch(op, request)
+            response["ok"] = True
+            if "id" in request:
+                response["id"] = request["id"]
+            self.metrics.record_op(op, time.perf_counter() - t0)
+            return response
+        except ReproError as exc:
+            self.metrics.record_op(
+                op or "invalid", time.perf_counter() - t0, error=True
+            )
+            return error_response(request, str(exc), code=_error_code(exc))
+
+    def _dispatch(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
+        if op in ("hello", "ping"):
+            return {
+                "server": "repro-broker",
+                "version": __version__,
+                "topology": self.topology_spec,
+                "nodes": self.topology.num_nodes,
+                "incremental": self.engine.incremental,
+            }
+        if op == "admit":
+            return self._op_admit(request)
+        if op == "release":
+            return self._op_release(request)
+        if op == "query":
+            return self._op_query(request)
+        if op == "report":
+            return {
+                "report": report_to_spec(self.engine.current_report()),
+                "admitted": len(self.engine.admitted),
+            }
+        if op == "snapshot":
+            if self.state is None:
+                raise ProtocolError(
+                    "server runs without persistence (no --state-dir)"
+                )
+            path = self.state.compact(self.engine.admitted)
+            return {"path": str(path), "streams": len(self.engine.admitted)}
+        if op == "stats":
+            return {
+                "service": self.metrics.to_dict(),
+                "engine": self.engine.stats.to_dict(),
+                "admitted": len(self.engine.admitted),
+            }
+        if op == "shutdown":
+            if self._stopping is not None:
+                self._stopping.set()
+            return {"stopping": True}
+        raise ProtocolError(f"unknown op {op!r}")  # pragma: no cover
+
+    def _op_admit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        entries = request.get("streams")
+        if not isinstance(entries, list) or not entries:
+            raise ProtocolError("'admit' needs a non-empty 'streams' list")
+        ids, decision = self._admit_entries(entries)
+        response: Dict[str, Any] = {
+            "admitted": decision.admitted,
+            "ids": ids,
+            "violations": list(decision.violations),
+            "bounds": {
+                str(sid): v.upper_bound
+                for sid, v in decision.report.verdicts.items()
+            },
+        }
+        if decision.admitted:
+            response["closures"] = {
+                str(sid): list(self.engine.closure(sid)) for sid in ids
+            }
+            self.metrics.admitted_ok += 1
+            if self.state is not None:
+                self.state.append({
+                    "op": "admit",
+                    "streams": [
+                        stream_to_spec(self.engine.admitted[sid])
+                        for sid in ids
+                    ],
+                })
+        else:
+            self.metrics.admitted_rejected += 1
+        return response
+
+    def _op_release(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        ids = request.get("ids")
+        if not isinstance(ids, list) or not ids:
+            raise ProtocolError("'release' needs a non-empty 'ids' list")
+        ids = [int(i) for i in ids]
+        self.engine.release(ids)
+        if self.state is not None:
+            self.state.append({"op": "release", "ids": ids})
+        return {"released": ids}
+
+    def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        sid = request.get("stream")
+        if sid is None:
+            raise ProtocolError("'query' needs a 'stream' id")
+        sid = int(sid)
+        verdict = self.engine.verdict(sid)
+        return {
+            "stream": stream_to_spec(self.engine.admitted[sid]),
+            "upper_bound": verdict.upper_bound,
+            "feasible": verdict.feasible,
+            "slack": verdict.slack,
+            "closure": list(self.engine.closure(sid)),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Asyncio front end
+    # ------------------------------------------------------------------ #
+
+    async def start_unix(self, path: Union[str, Path]) -> None:
+        """Listen on a unix socket."""
+        self._init_async()
+        self._server = await asyncio.start_unix_server(
+            self._client_connected, path=str(path)
+        )
+
+    async def start_tcp(self, host: str, port: int) -> None:
+        """Listen on a TCP address."""
+        self._init_async()
+        self._server = await asyncio.start_server(
+            self._client_connected, host=host, port=port
+        )
+
+    def _init_async(self) -> None:
+        self._queue = asyncio.Queue()
+        self._stopping = asyncio.Event()
+        self._worker_task = asyncio.create_task(self._worker())
+
+    async def serve_forever(self) -> None:
+        """Serve until a ``shutdown`` op (or :meth:`request_shutdown`)."""
+        if self._server is None:
+            raise ReproError("server not started")
+        assert self._stopping is not None
+        await self._stopping.wait()
+        # Let the worker flush the shutdown acknowledgement before closing.
+        await asyncio.sleep(0.05)
+        await self.aclose()
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to stop (thread-unsafe; call on the loop)."""
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def aclose(self) -> None:
+        """Close the listener, stop the worker, flush persistence."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._worker_task is not None:
+            self._worker_task.cancel()
+            try:
+                await self._worker_task
+            except asyncio.CancelledError:
+                pass
+            self._worker_task = None
+        if self.state is not None:
+            self.state.close()
+
+    async def _client_connected(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.connections += 1
+        assert self._queue is not None
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = decode(line)
+                except ProtocolError as exc:
+                    # Pre-built error keeps per-connection ordering.
+                    await self._queue.put(
+                        (None, error_response({}, str(exc),
+                                              code="protocol"), writer)
+                    )
+                    continue
+                await self._queue.put((request, None, writer))
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _worker(self) -> None:
+        assert self._queue is not None
+        while True:
+            batch = [await self._queue.get()]
+            while (len(batch) < self.batch_max
+                   and not self._queue.empty()):
+                batch.append(self._queue.get_nowait())
+            self.metrics.record_batch(len(batch))
+            writers = []
+            for request, prebuilt, writer in batch:
+                response = (prebuilt if request is None
+                            else self.handle_request(request))
+                if not writer.is_closing():
+                    writer.write(encode(response))
+                    if writer not in writers:
+                        writers.append(writer)
+            for writer in writers:
+                try:
+                    await writer.drain()
+                except (ConnectionResetError, RuntimeError):
+                    pass

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.admission import AdmissionController
 from repro.core.streams import MessageStream
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, StreamError
 from repro.topology import Mesh2D, XYRouting
 
 
@@ -82,10 +82,44 @@ class TestAdmission:
         assert nid not in ctrl.admitted
         assert ctrl.fresh_id() != nid
 
+    def test_fresh_id_never_reuses_released(self, controller):
+        ctrl, mesh = controller
+        sid = ctrl.fresh_id()
+        assert ctrl.try_admit(
+            ms(sid, mesh, (0, 0), (5, 0), priority=1)).admitted
+        ctrl.release(sid)
+        assert ctrl.fresh_id() > sid
+        # Explicitly requested ids advance the counter past themselves.
+        ctrl.try_admit(ms(100, mesh, (0, 1), (5, 1), priority=1))
+        ctrl.release(100)
+        assert ctrl.fresh_id() > 100
+
+    def test_release_unknown_id_raises(self, controller):
+        ctrl, mesh = controller
+        ctrl.try_admit(ms(0, mesh, (0, 0), (5, 0), priority=1))
+        with pytest.raises(StreamError, match=r"\[3, 9\]"):
+            ctrl.release([0, 9, 3])
+        # Atomic: the known id stays admitted on a failed release.
+        assert 0 in ctrl.admitted
+
     def test_current_report(self, controller):
         ctrl, mesh = controller
-        with pytest.raises(AnalysisError):
-            ctrl.current_report()
+        # Empty set: trivially feasible (nothing to guarantee).
+        empty = ctrl.current_report()
+        assert empty.success and empty.verdicts == {}
         ctrl.try_admit(ms(0, mesh, (0, 0), (5, 0), priority=1))
         report = ctrl.current_report()
         assert report.success
+
+    def test_admit_release_readmit_churn(self, controller):
+        ctrl, mesh = controller
+        for cycle in range(3):
+            sid = ctrl.fresh_id()
+            d = ctrl.try_admit(
+                ms(sid, mesh, (0, cycle), (5, cycle), priority=1))
+            assert d.admitted
+            assert ctrl.current_report().success
+            ctrl.release(sid)
+            assert sid not in ctrl.admitted
+        assert len(ctrl.admitted) == 0
+        assert ctrl.current_report().success

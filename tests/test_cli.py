@@ -187,3 +187,50 @@ class TestFuzzCommand:
         # counterexample is a live finding).
         assert main(["fuzz", "--replay", str(entries[0])]) == 1
         assert "REPRODUCED" in capsys.readouterr().out
+
+
+class TestServeLoadCommands:
+    def test_serve_rejects_conflicting_listeners(self, capsys):
+        assert main(["serve"]) == 2
+        assert "exactly one of --socket or --host" in capsys.readouterr().err
+        assert main(["serve", "--socket", "/tmp/x", "--host",
+                     "127.0.0.1"]) == 2
+
+    def test_serve_rejects_conflicting_topology(self, capsys):
+        assert main(["serve", "--socket", "/tmp/x", "--mesh", "4x4",
+                     "--topology", "{}"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_topology_json(self, capsys):
+        assert main(["serve", "--socket", "/tmp/x",
+                     "--topology", "{nope"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_load_requires_listener(self, capsys):
+        assert main(["load"]) == 2
+        assert "exactly one of --socket or --host" in capsys.readouterr().err
+
+    def test_serve_load_round_trip(self, tmp_path, capsys):
+        """End-to-end over the real CLI: serve in a thread, load against it."""
+        import threading
+
+        sock = str(tmp_path / "broker.sock")
+        state = str(tmp_path / "state")
+        codes = {}
+        server = threading.Thread(
+            target=lambda: codes.update(
+                serve=main(["serve", "--socket", sock, "--mesh", "6x6",
+                            "--state-dir", state])
+            )
+        )
+        server.start()
+        code = main(["load", "--socket", sock, "--ops", "40", "--seed", "1",
+                     "--target-live", "8", "--assert-stats", "--shutdown"])
+        server.join(timeout=30)
+        assert code == 0
+        assert codes.get("serve") == 0
+        out = capsys.readouterr().out
+        assert "repro-broker listening on" in out
+        summary = json.loads(out[out.index("{"):])
+        assert summary["ops"] == 40 and summary["errors"] == 0
+        assert summary["server_stats"]["engine"]["ops"] > 0

@@ -121,6 +121,41 @@ class TestProblemRoundTrip:
         topo, routing, streams = load_problem(path)
         assert routing.hop_count(0, 7) == 3
 
+    def test_torus_round_trip(self, tmp_path):
+        torus = Torus((5, 4))
+        streams = StreamSet([
+            MessageStream(0, torus.node_at((0, 0)), torus.node_at((4, 3)),
+                          priority=2, period=120, length=3, deadline=90),
+            MessageStream(3, torus.node_at((2, 1)), torus.node_at((0, 2)),
+                          priority=1, period=80, length=5, deadline=80,
+                          latency=9),
+        ])
+        path = tmp_path / "torus.json"
+        save_problem(path, {"type": "torus", "dims": [5, 4]}, streams)
+        topo, routing, loaded = load_problem(path)
+        assert isinstance(topo, Torus)
+        assert isinstance(routing, TorusDimensionOrderRouting)
+        assert [s.as_tuple() for s in loaded] == [
+            s.as_tuple() for s in streams
+        ]
+
+    def test_hypercube_round_trip(self, tmp_path):
+        cube = Hypercube(4)
+        streams = StreamSet([
+            MessageStream(1, 0, 15, priority=3, period=200, length=6,
+                          deadline=140),
+            MessageStream(2, 5, 10, priority=1, period=90, length=2,
+                          deadline=90, latency=8),
+        ])
+        path = tmp_path / "cube_rt.json"
+        save_problem(path, {"type": "hypercube", "dimension": 4}, streams)
+        topo, routing, loaded = load_problem(path)
+        assert isinstance(topo, Hypercube)
+        assert isinstance(routing, ECubeRouting)
+        assert [s.as_tuple() for s in loaded] == [
+            s.as_tuple() for s in streams
+        ]
+
 
 class TestReportSpec:
     def test_report_serialisation(self):

@@ -1,0 +1,298 @@
+"""Tests for the broker server: protocol, ops, metrics, persistence,
+and the asyncio front end over a unix socket."""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service.loadgen import BrokerClient, churn_spec, run_load
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.persistence import BrokerState
+from repro.service.protocol import ProtocolError, decode, encode, error_response
+from repro.service.server import BrokerServer
+
+MESH = {"type": "mesh", "width": 6, "height": 6}
+
+
+def spec(sid=None, src=0, dst=3, priority=1, period=100, length=4,
+         deadline=None):
+    entry = {"src": src, "dst": dst, "priority": priority,
+             "period": period, "length": length,
+             "deadline": deadline or period}
+    if sid is not None:
+        entry["id"] = sid
+    return entry
+
+
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        line = encode({"op": "hello", "id": 3})
+        assert line.endswith(b"\n")
+        assert decode(line) == {"op": "hello", "id": 3}
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode(b"not json\n")
+        with pytest.raises(ProtocolError):
+            decode(b"[1, 2]\n")
+        with pytest.raises(ProtocolError):
+            decode(b'{"no": "op"}\n')
+        with pytest.raises(ProtocolError):
+            decode(b'{"op": "warp"}\n')
+
+    def test_error_response_echoes_id(self):
+        resp = error_response({"id": 9}, "boom", code="stream")
+        assert resp == {"ok": False, "error": "boom", "code": "stream",
+                        "id": 9}
+
+
+class TestMetrics:
+    def test_histogram_buckets_and_quantiles(self):
+        h = LatencyHistogram()
+        assert h.quantile(0.5) is None
+        for us in (1, 10, 100, 1000, 10000):
+            h.record(us / 1e6)
+        d = h.to_dict()
+        assert d["count"] == 5
+        assert d["max_ms"] == 10.0
+        assert sum(d["buckets"].values()) == 5
+        assert h.quantile(0.5) <= h.quantile(0.99)
+
+    def test_service_metrics_dict(self):
+        m = ServiceMetrics()
+        m.record_op("admit", 0.001)
+        m.record_op("admit", 0.002, error=True)
+        m.record_batch(3)
+        d = m.to_dict()
+        assert d["ops"]["admit"] == 2
+        assert d["errors"]["admit"] == 1
+        assert d["batching"]["max_size"] == 3
+        assert d["latency"]["admit"]["count"] == 2
+
+
+class TestServerOps:
+    def test_hello_reports_topology(self):
+        server = BrokerServer(MESH)
+        resp = server.handle_request({"op": "hello", "id": 1})
+        assert resp["ok"] and resp["id"] == 1
+        assert resp["nodes"] == 36
+        assert resp["topology"] == MESH
+        assert isinstance(resp["incremental"], bool)
+
+    def test_admit_assigns_ids_and_closures(self):
+        server = BrokerServer(MESH)
+        resp = server.handle_request(
+            {"op": "admit", "streams": [spec(), spec(src=6, dst=9)]}
+        )
+        assert resp["ok"] and resp["admitted"]
+        assert resp["ids"] == [0, 1]
+        assert set(resp["closures"]) == {"0", "1"}
+        assert resp["bounds"]["0"] > 0
+
+    def test_admit_rejection_reports_violations(self):
+        server = BrokerServer(MESH)
+        resp = server.handle_request(
+            {"op": "admit", "streams": [spec(deadline=1, length=8)]}
+        )
+        assert resp["ok"] and not resp["admitted"]
+        assert resp["violations"] == [0]
+        assert server.handle_request({"op": "report"})["admitted"] == 0
+
+    def test_admit_coordinate_refs(self):
+        server = BrokerServer(MESH)
+        entry = spec()
+        entry["src"] = [0, 0]
+        entry["dst"] = [3, 2]
+        resp = server.handle_request({"op": "admit", "streams": [entry]})
+        assert resp["ok"] and resp["admitted"]
+
+    def test_release_and_query(self):
+        server = BrokerServer(MESH)
+        server.handle_request({"op": "admit", "streams": [spec()]})
+        q = server.handle_request({"op": "query", "stream": 0})
+        assert q["ok"] and q["feasible"] and q["closure"] == []
+        assert q["stream"]["id"] == 0
+        r = server.handle_request({"op": "release", "ids": [0]})
+        assert r["ok"] and r["released"] == [0]
+        bad = server.handle_request({"op": "release", "ids": [0]})
+        assert not bad["ok"] and bad["code"] == "stream"
+        assert "0" in bad["error"]
+
+    def test_report_empty_is_trivial_success(self):
+        server = BrokerServer(MESH)
+        resp = server.handle_request({"op": "report"})
+        assert resp["ok"] and resp["report"]["success"]
+        assert resp["report"]["streams"] == {}
+
+    def test_malformed_ops_fail_cleanly(self):
+        server = BrokerServer(MESH)
+        assert not server.handle_request({"op": "admit"})["ok"]
+        assert not server.handle_request(
+            {"op": "admit", "streams": []})["ok"]
+        assert not server.handle_request(
+            {"op": "admit", "streams": [{"src": 0}]})["ok"]
+        assert not server.handle_request({"op": "release"})["ok"]
+        assert not server.handle_request({"op": "query"})["ok"]
+        assert not server.handle_request({"op": "query", "stream": 5})["ok"]
+        # No state dir -> snapshot is a protocol error.
+        resp = server.handle_request({"op": "snapshot"})
+        assert not resp["ok"] and resp["code"] == "protocol"
+
+    def test_stats_op(self):
+        server = BrokerServer(MESH)
+        server.handle_request({"op": "admit", "streams": [spec()]})
+        resp = server.handle_request({"op": "stats"})
+        assert resp["ok"]
+        assert resp["admitted"] == 1
+        assert resp["engine"]["admits"] == 1
+        assert resp["service"]["ops"]["admit"] == 1
+
+
+class TestPersistence:
+    def test_snapshot_journal_recovery(self, tmp_path):
+        state = tmp_path / "state"
+        server = BrokerServer(MESH, state_dir=state)
+        server.handle_request({"op": "admit", "streams": [spec()]})
+        server.handle_request(
+            {"op": "admit", "streams": [spec(src=6, dst=9)]})
+        server.handle_request({"op": "release", "ids": [0]})
+        # Journal-only recovery (no snapshot op was issued).
+        recovered = BrokerServer(MESH, state_dir=state)
+        assert recovered.engine.admitted.ids() == (1,)
+        # Recovery compacts: a third server recovers from snapshot alone.
+        assert json.loads(
+            (state / "snapshot.json").read_text())["streams"]
+        assert (state / "journal.jsonl").read_text() == ""
+        again = BrokerServer(MESH, state_dir=state)
+        assert again.engine.admitted.ids() == (1,)
+
+    def test_snapshot_op_compacts(self, tmp_path):
+        server = BrokerServer(MESH, state_dir=tmp_path / "s")
+        server.handle_request({"op": "admit", "streams": [spec()]})
+        resp = server.handle_request({"op": "snapshot"})
+        assert resp["ok"] and resp["streams"] == 1
+        assert (tmp_path / "s" / "journal.jsonl").read_text() == ""
+
+    def test_recovered_ids_stay_monotonic(self, tmp_path):
+        state = tmp_path / "state"
+        server = BrokerServer(MESH, state_dir=state)
+        server.handle_request({"op": "admit", "streams": [spec()]})
+        recovered = BrokerServer(MESH, state_dir=state)
+        resp = recovered.handle_request(
+            {"op": "admit", "streams": [spec(src=6, dst=9)]})
+        assert resp["ids"] == [1]
+
+    def test_topology_mismatch_refused(self, tmp_path):
+        state = tmp_path / "state"
+        server = BrokerServer(MESH, state_dir=state)
+        server.handle_request({"op": "admit", "streams": [spec()]})
+        server.handle_request({"op": "snapshot"})
+        with pytest.raises(ReproError, match="topology"):
+            BrokerServer({"type": "mesh", "width": 8, "height": 8},
+                         state_dir=state)
+
+    def test_torn_journal_tail_tolerated(self, tmp_path):
+        state = tmp_path / "state"
+        server = BrokerServer(MESH, state_dir=state)
+        server.handle_request({"op": "admit", "streams": [spec()]})
+        server.state.close()
+        with open(state / "journal.jsonl", "a") as fh:
+            fh.write('{"op": "admit", "streams": [{"tr')  # torn tail
+        recovered = BrokerServer(MESH, state_dir=state)
+        assert recovered.engine.admitted.ids() == (0,)
+
+    def test_corrupt_journal_interior_rejected(self, tmp_path):
+        state = tmp_path / "state"
+        BrokerState(state, MESH)
+        (state / "journal.jsonl").write_text(
+            'garbage\n{"op": "release", "ids": [0]}\n'
+        )
+        with pytest.raises(ReproError, match="journal"):
+            BrokerServer(MESH, state_dir=state)
+
+
+class TestAsyncFrontEnd:
+    """Round-trips through the real asyncio server on a unix socket."""
+
+    def _run(self, client_fn, tmp_path, **server_kwargs):
+        sock = str(tmp_path / "broker.sock")
+        result = {}
+
+        async def main():
+            server = BrokerServer(MESH, **server_kwargs)
+            await server.start_unix(sock)
+            thread = threading.Thread(
+                target=lambda: result.update(client_fn(sock))
+            )
+            thread.start()
+            await asyncio.wait_for(server.serve_forever(), timeout=30)
+            thread.join(timeout=10)
+            result["server"] = server
+
+        asyncio.run(main())
+        return result
+
+    def test_unix_round_trip_and_shutdown(self, tmp_path):
+        def client(sock):
+            with BrokerClient.wait_for_unix(sock) as c:
+                hello = c.check("hello")
+                admit = c.check("admit", streams=[spec()])
+                report = c.check("report")
+                c.check("shutdown")
+                return {"hello": hello, "admit": admit, "report": report}
+
+        result = self._run(client, tmp_path)
+        assert result["hello"]["nodes"] == 36
+        assert result["admit"]["admitted"] and result["admit"]["ids"] == [0]
+        assert result["report"]["admitted"] == 1
+        metrics = result["server"].metrics
+        assert metrics.op_counts["admit"] == 1
+        assert metrics.batches >= 1
+
+    def test_malformed_line_gets_error_response(self, tmp_path):
+        def client(sock):
+            c = BrokerClient.wait_for_unix(sock)
+            c._fh.write(b"this is not json\n")
+            c._fh.flush()
+            raw = json.loads(c._fh.readline())
+            ok = c.check("ping")
+            c.check("shutdown")
+            c.close()
+            return {"raw": raw, "ping": ok}
+
+        result = self._run(client, tmp_path)
+        assert not result["raw"]["ok"]
+        assert result["raw"]["code"] == "protocol"
+        assert result["ping"]["ok"]
+
+    def test_load_generator_against_live_server(self, tmp_path):
+        def client(sock):
+            with BrokerClient.wait_for_unix(sock) as c:
+                summary = run_load(c, ops=60, seed=2, target_live=10)
+                c.check("shutdown")
+                return {"summary": summary}
+
+        result = self._run(client, tmp_path,
+                           state_dir=tmp_path / "state")
+        summary = result["summary"]
+        assert summary.ops == 60 and summary.errors == 0
+        assert summary.admits_accepted > 0
+        assert summary.server_stats["engine"]["ops"] > 0
+        # The committed churn is recoverable.
+        recovered = BrokerServer(MESH, state_dir=tmp_path / "state")
+        assert len(recovered.engine.admitted) == summary.live_at_end
+
+
+class TestChurnSpec:
+    def test_specs_are_valid(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(100):
+            s = churn_spec(rng, 36)
+            assert 0 <= s["src"] < 36 and 0 <= s["dst"] < 36
+            assert s["src"] != s["dst"]
+            assert 0 < s["deadline"] <= s["period"]
