@@ -173,6 +173,20 @@ class IncrementalAdmissionEngine:
         self._next_id += 1
         return nid
 
+    @property
+    def next_id(self) -> int:
+        """The fresh-id high-water mark (the next id to be assigned).
+
+        Persist this alongside the admitted set: the no-reuse guarantee of
+        :meth:`fresh_id` only survives a restart if the mark is restored
+        via :meth:`advance_next_id` before new admissions.
+        """
+        return self._next_id
+
+    def advance_next_id(self, value: int) -> None:
+        """Raise the fresh-id high-water mark (never lowers it)."""
+        self._next_id = max(self._next_id, int(value))
+
     def closure(self, stream_id: int) -> Tuple[int, ...]:
         """Return the transitive HP closure the stream's guarantee is
         scoped to (finding F-7): every admitted id whose behaviour the

@@ -4,7 +4,10 @@ The broker's durable state is the admitted stream set. It is stored as:
 
 ``snapshot.json``
     A plain problem file (see :mod:`repro.io`): topology spec + admitted
-    streams. Written atomically (tmp file + rename) by ``compact``.
+    streams, plus a ``next_id`` key recording the broker's fresh-id
+    high-water mark (ignored by ``load_problem``) so released ids are
+    never reissued across restarts. Written atomically (tmp file +
+    rename) by ``compact``.
 ``journal.jsonl``
     One JSON line per committed mutation since the snapshot:
     ``{"op": "admit", "streams": [...]}`` (streams as problem-file
@@ -48,14 +51,18 @@ class BrokerState:
     # Recovery
     # ------------------------------------------------------------------ #
 
-    def recover(self) -> Tuple[Optional[List[dict]], List[Dict[str, Any]]]:
-        """Return ``(snapshot stream entries or None, journal ops)``.
+    def recover(
+        self,
+    ) -> Tuple[Optional[List[dict]], List[Dict[str, Any]], Optional[int]]:
+        """Return ``(snapshot stream entries or None, journal ops,
+        snapshotted next_id or None)``.
 
         Validates that a present snapshot was taken over the same topology
         the server is being started with — recovering a 10x10-mesh
         admitted set onto a torus would silently re-route everything.
         """
         snapshot = None
+        next_id = None
         if self.snapshot_path.exists():
             spec = json.loads(self.snapshot_path.read_text())
             topo = spec.get("topology")
@@ -65,6 +72,8 @@ class BrokerState:
                     f"server topology {self.topology_spec}"
                 )
             snapshot = list(spec.get("streams", []))
+            if spec.get("next_id") is not None:
+                next_id = int(spec["next_id"])
         ops: List[Dict[str, Any]] = []
         if self.journal_path.exists():
             with open(self.journal_path) as fh:
@@ -85,7 +94,7 @@ class BrokerState:
                                 f"{self.journal_path}"
                             ) from None
                         break
-        return snapshot, ops
+        return snapshot, ops, next_id
 
     # ------------------------------------------------------------------ #
     # Mutation log
@@ -101,12 +110,16 @@ class BrokerState:
         self._journal_fh.flush()
         os.fsync(self._journal_fh.fileno())
 
-    def compact(self, streams: StreamSet) -> Path:
+    def compact(
+        self, streams: StreamSet, *, next_id: Optional[int] = None
+    ) -> Path:
         """Write a fresh snapshot atomically and truncate the journal."""
         payload = {
             "topology": self.topology_spec,
             "streams": streams_to_spec(streams),
         }
+        if next_id is not None:
+            payload["next_id"] = int(next_id)
         tmp = self.snapshot_path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(payload, indent=2) + "\n")
         os.replace(tmp, self.snapshot_path)

@@ -45,6 +45,7 @@ from ..errors import ReproError
 
 __all__ = [
     "ProtocolError",
+    "coerce_int",
     "encode",
     "decode",
     "error_response",
@@ -90,6 +91,27 @@ def decode(line: bytes) -> Dict[str, Any]:
             f"unknown op {op!r} (expected one of {', '.join(KNOWN_OPS)})"
         )
     return obj
+
+
+def coerce_int(value: Any, what: str) -> int:
+    """Coerce an untrusted request field to ``int``.
+
+    Raises :class:`ProtocolError` (never ``ValueError``/``TypeError``) on
+    bad input, so malformed client fields stay inside the protocol error
+    path instead of escaping into the server's worker task. Accepts ints,
+    integral floats and integer-looking strings; rejects booleans.
+    """
+    if isinstance(value, bool):
+        raise ProtocolError(f"{what} must be an integer, got {value!r}")
+    try:
+        out = int(value)
+    except (ValueError, TypeError):
+        raise ProtocolError(
+            f"{what} must be an integer, got {value!r}"
+        ) from None
+    if isinstance(value, float) and value != out:
+        raise ProtocolError(f"{what} must be an integer, got {value!r}")
+    return out
 
 
 def error_response(

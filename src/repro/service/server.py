@@ -17,6 +17,7 @@ bit-identical.
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -28,9 +29,15 @@ from ..io import stream_from_spec, stream_to_spec, report_to_spec, topology_from
 from .engine import IncrementalAdmissionEngine
 from .metrics import ServiceMetrics
 from .persistence import BrokerState
-from .protocol import ProtocolError, decode, encode, error_response
+from .protocol import ProtocolError, coerce_int, decode, encode, error_response
 
 __all__ = ["BrokerServer"]
+
+logger = logging.getLogger(__name__)
+
+#: Queue sentinel (in the ``prebuilt`` slot): the connection reached EOF;
+#: the worker closes its writer once every earlier response is flushed.
+_EOF = object()
 
 
 def _error_code(exc: ReproError) -> str:
@@ -93,7 +100,11 @@ class BrokerServer:
 
     def _recover(self) -> None:
         assert self.state is not None
-        snapshot, ops = self.state.recover()
+        snapshot, ops, next_id = self.state.recover()
+        if next_id is not None:
+            # Restore the fresh-id high-water mark so ids released before
+            # the snapshot are never reissued across restarts.
+            self.engine.advance_next_id(next_id)
         if snapshot:
             self._admit_entries(snapshot, replay=True)
         for op in ops:
@@ -104,7 +115,9 @@ class BrokerServer:
             else:  # pragma: no cover - defensive
                 raise ReproError(f"unknown journal op {op.get('op')!r}")
         if snapshot or ops:
-            self.state.compact(self.engine.admitted)
+            self.state.compact(
+                self.engine.admitted, next_id=self.engine.next_id
+            )
 
     def _admit_entries(
         self, entries: List[dict], *, replay: bool = False
@@ -113,11 +126,17 @@ class BrokerServer:
         for entry in entries:
             if not isinstance(entry, dict):
                 raise ProtocolError("'streams' entries must be objects")
-            sid = (int(entry["id"]) if entry.get("id") is not None
+            sid = (coerce_int(entry["id"], "stream entry 'id'")
+                   if entry.get("id") is not None
                    else self.engine.fresh_id())
-            streams.append(
-                stream_from_spec(self.topology, entry, stream_id=sid)
-            )
+            try:
+                streams.append(
+                    stream_from_spec(self.topology, entry, stream_id=sid)
+                )
+            except (ValueError, TypeError) as exc:
+                raise ProtocolError(
+                    f"invalid stream entry (id {sid}): {exc}"
+                ) from None
         decision = self.engine.try_admit(streams)
         if replay and not decision.admitted:  # pragma: no cover - defensive
             raise ReproError(
@@ -146,6 +165,19 @@ class BrokerServer:
                 op or "invalid", time.perf_counter() - t0, error=True
             )
             return error_response(request, str(exc), code=_error_code(exc))
+        except Exception as exc:
+            # Last-resort guard: an escaped exception would kill the single
+            # worker task and wedge every connection. Persistence failures
+            # (journal append OSError) land here too.
+            logger.exception("internal error handling %r", op)
+            self.metrics.record_op(
+                op or "invalid", time.perf_counter() - t0, error=True
+            )
+            return error_response(
+                request,
+                f"internal error handling {op!r}: {exc!r}",
+                code="internal",
+            )
 
     def _dispatch(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
         if op in ("hello", "ping"):
@@ -172,7 +204,9 @@ class BrokerServer:
                 raise ProtocolError(
                     "server runs without persistence (no --state-dir)"
                 )
-            path = self.state.compact(self.engine.admitted)
+            path = self.state.compact(
+                self.engine.admitted, next_id=self.engine.next_id
+            )
             return {"path": str(path), "streams": len(self.engine.admitted)}
         if op == "stats":
             return {
@@ -221,7 +255,7 @@ class BrokerServer:
         ids = request.get("ids")
         if not isinstance(ids, list) or not ids:
             raise ProtocolError("'release' needs a non-empty 'ids' list")
-        ids = [int(i) for i in ids]
+        ids = [coerce_int(i, "'release' id") for i in ids]
         self.engine.release(ids)
         if self.state is not None:
             self.state.append({"op": "release", "ids": ids})
@@ -231,7 +265,7 @@ class BrokerServer:
         sid = request.get("stream")
         if sid is None:
             raise ProtocolError("'query' needs a 'stream' id")
-        sid = int(sid)
+        sid = coerce_int(sid, "'query' stream")
         verdict = self.engine.verdict(sid)
         return {
             "stream": stream_to_spec(self.engine.admitted[sid]),
@@ -270,8 +304,8 @@ class BrokerServer:
             raise ReproError("server not started")
         assert self._stopping is not None
         await self._stopping.wait()
-        # Let the worker flush the shutdown acknowledgement before closing.
-        await asyncio.sleep(0.05)
+        # aclose drains the queue, so the shutdown acknowledgement and any
+        # queued responses are flushed before the worker stops.
         await self.aclose()
 
     def request_shutdown(self) -> None:
@@ -280,18 +314,36 @@ class BrokerServer:
             self._stopping.set()
 
     async def aclose(self) -> None:
-        """Close the listener, stop the worker, flush persistence."""
+        """Close the listener, drain the queue, stop the worker, flush
+        persistence. Queued requests are answered before the worker is
+        cancelled, so a committed op is never left unacknowledged."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         if self._worker_task is not None:
+            if self._queue is not None:
+                try:
+                    await asyncio.wait_for(self._queue.join(), timeout=10.0)
+                except asyncio.TimeoutError:  # pragma: no cover - defensive
+                    logger.warning(
+                        "broker queue did not drain within 10s; "
+                        "cancelling worker with requests pending"
+                    )
             self._worker_task.cancel()
             try:
                 await self._worker_task
             except asyncio.CancelledError:
                 pass
             self._worker_task = None
+        if self._queue is not None:
+            # Close writers parked behind EOF sentinels the (now stopped)
+            # worker never reached.
+            while not self._queue.empty():
+                _, prebuilt, writer = self._queue.get_nowait()
+                self._queue.task_done()
+                if prebuilt is _EOF:
+                    await self._close_writer(writer)
         if self.state is not None:
             self.state.close()
 
@@ -319,12 +371,25 @@ class BrokerServer:
                 await self._queue.put((request, None, writer))
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
+        except asyncio.CancelledError:
+            # Loop teardown (asyncio.run) cancels handlers still parked in
+            # readline; returning quietly avoids a logged traceback from
+            # StreamReaderProtocol's done-callback.
+            pass
         finally:
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except Exception:
-                pass
+            # Don't close the writer here: a client that half-closes its
+            # write side after pipelining requests still expects the queued
+            # responses. The worker closes the writer when it reaches this
+            # sentinel, i.e. after everything queued before EOF is flushed.
+            self._queue.put_nowait((None, _EOF, writer))
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except Exception:
+            pass
 
     async def _worker(self) -> None:
         assert self._queue is not None
@@ -333,17 +398,37 @@ class BrokerServer:
             while (len(batch) < self.batch_max
                    and not self._queue.empty()):
                 batch.append(self._queue.get_nowait())
-            self.metrics.record_batch(len(batch))
-            writers = []
-            for request, prebuilt, writer in batch:
-                response = (prebuilt if request is None
-                            else self.handle_request(request))
-                if not writer.is_closing():
-                    writer.write(encode(response))
-                    if writer not in writers:
-                        writers.append(writer)
-            for writer in writers:
-                try:
-                    await writer.drain()
-                except (ConnectionResetError, RuntimeError):
-                    pass
+            try:
+                requests = sum(
+                    1 for _, prebuilt, _ in batch if prebuilt is not _EOF
+                )
+                if requests:
+                    self.metrics.record_batch(requests)
+                writers = []
+                eof_writers = []
+                for request, prebuilt, writer in batch:
+                    if prebuilt is _EOF:
+                        eof_writers.append(writer)
+                        continue
+                    try:
+                        response = (prebuilt if request is None
+                                    else self.handle_request(request))
+                        if not writer.is_closing():
+                            writer.write(encode(response))
+                            if writer not in writers:
+                                writers.append(writer)
+                    except Exception:  # pragma: no cover - defensive
+                        # handle_request catches everything itself; this
+                        # guards encode/write so one bad request can never
+                        # kill the worker (and with it the whole broker).
+                        logger.exception("broker worker request failed")
+                for writer in writers:
+                    try:
+                        await writer.drain()
+                    except (ConnectionResetError, RuntimeError):
+                        pass
+                for writer in eof_writers:
+                    await self._close_writer(writer)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()

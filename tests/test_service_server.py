@@ -141,6 +141,39 @@ class TestServerOps:
         resp = server.handle_request({"op": "snapshot"})
         assert not resp["ok"] and resp["code"] == "protocol"
 
+    def test_bad_field_types_fail_cleanly(self):
+        # Regression: non-numeric client fields used to raise ValueError
+        # past handle_request and kill the worker task.
+        server = BrokerServer(MESH)
+        server.handle_request({"op": "admit", "streams": [spec()]})
+        for request in (
+            {"op": "release", "ids": ["abc"]},
+            {"op": "release", "ids": [True]},
+            {"op": "query", "stream": "x"},
+            {"op": "query", "stream": 1.5},
+            {"op": "admit", "streams": [spec(sid="abc")]},
+            {"op": "admit", "streams": [spec(sid=7, priority="high")]},
+        ):
+            resp = server.handle_request(request)
+            assert not resp["ok"] and resp["code"] == "protocol", request
+        # The admitted set is untouched and the server still answers.
+        assert server.handle_request({"op": "report"})["admitted"] == 1
+        assert server.handle_request({"op": "ping"})["ok"]
+
+    def test_internal_errors_become_error_responses(self, tmp_path,
+                                                    monkeypatch):
+        # A journal append failure (e.g. disk full) must surface as an
+        # 'internal' error response, not an escaped exception.
+        server = BrokerServer(MESH, state_dir=tmp_path / "s")
+
+        def boom(op):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(server.state, "append", boom)
+        resp = server.handle_request({"op": "admit", "streams": [spec()]})
+        assert not resp["ok"] and resp["code"] == "internal"
+        assert server.handle_request({"op": "ping"})["ok"]
+
     def test_stats_op(self):
         server = BrokerServer(MESH)
         server.handle_request({"op": "admit", "streams": [spec()]})
@@ -184,6 +217,23 @@ class TestPersistence:
         resp = recovered.handle_request(
             {"op": "admit", "streams": [spec(src=6, dst=9)]})
         assert resp["ids"] == [1]
+
+    def test_released_id_not_reissued_after_restart(self, tmp_path):
+        state = tmp_path / "state"
+        server = BrokerServer(MESH, state_dir=state)
+        server.handle_request({"op": "admit", "streams": [spec()]})
+        server.handle_request(
+            {"op": "admit", "streams": [spec(src=6, dst=9)]})
+        server.handle_request({"op": "release", "ids": [1]})
+        server.handle_request({"op": "snapshot"})
+        # The compacted snapshot persists the fresh-id high-water mark...
+        assert json.loads(
+            (state / "snapshot.json").read_text())["next_id"] == 2
+        # ...so a restarted broker never reissues the released id 1.
+        recovered = BrokerServer(MESH, state_dir=state)
+        resp = recovered.handle_request(
+            {"op": "admit", "streams": [spec(src=12, dst=15)]})
+        assert resp["ids"] == [2]
 
     def test_topology_mismatch_refused(self, tmp_path):
         state = tmp_path / "state"
@@ -267,6 +317,48 @@ class TestAsyncFrontEnd:
         assert not result["raw"]["ok"]
         assert result["raw"]["code"] == "protocol"
         assert result["ping"]["ok"]
+
+    def test_bad_field_types_do_not_kill_worker(self, tmp_path):
+        # Regression for the worker-death bug: one malformed release used
+        # to raise ValueError out of the worker task, wedging the broker.
+        def client(sock):
+            with BrokerClient.wait_for_unix(sock) as c:
+                bad = c.request("release", ids=["abc"])
+                ping = c.check("ping")
+                c.check("shutdown")
+                return {"bad": bad, "ping": ping}
+
+        result = self._run(client, tmp_path)
+        assert not result["bad"]["ok"]
+        assert result["bad"]["code"] == "protocol"
+        assert result["ping"]["ok"]
+
+    def test_half_close_still_gets_responses(self, tmp_path):
+        # A client that pipelines requests and then shuts down its write
+        # side must still receive every response before EOF.
+        import socket as socketmod
+
+        def client(sock):
+            c = BrokerClient.wait_for_unix(sock)
+            for op in ("hello", "report", "shutdown"):
+                c._fh.write(json.dumps({"op": op}).encode() + b"\n")
+            c._fh.flush()
+            c._sock.shutdown(socketmod.SHUT_WR)
+            lines = []
+            while True:
+                line = c._fh.readline()
+                if not line:
+                    break
+                lines.append(json.loads(line))
+            c.close()
+            return {"lines": lines}
+
+        result = self._run(client, tmp_path)
+        lines = result["lines"]
+        assert len(lines) == 3
+        assert all(resp["ok"] for resp in lines)
+        assert lines[0]["nodes"] == 36
+        assert lines[2]["stopping"]
 
     def test_load_generator_against_live_server(self, tmp_path):
         def client(sock):
