@@ -13,6 +13,11 @@ Writes ``BENCH_PR3.json`` at the repo root. Two workloads are measured:
     equivalent); every decision and every report must be bit-identical
     between the two before any number is recorded, and the recorded
     ``speedup`` is their wall-time ratio.
+``metrics_overhead``
+    Microbenchmark of :meth:`~repro.service.metrics.ServiceMetrics.
+    record_op` — the per-request metrics cost — with a hard 5 µs/op
+    guard on both the count-only (``REPRO_SERVICE_TIMING=0``) and the
+    histogram-recording path.
 ``server_roundtrip``
     End-to-end ops/sec of the asyncio broker over a unix socket
     (``repro serve`` + the churn load client), incremental engine.
@@ -171,6 +176,46 @@ def bench_churn() -> dict:
     }
 
 
+def bench_metrics_overhead() -> dict:
+    """Microbenchmark the per-request metrics cost (``record_op``).
+
+    Guards the PR 4 lazy-timing fix: counting one op without a latency
+    sample (the ``REPRO_SERVICE_TIMING=0`` path) must stay well under a
+    microsecond, and the full histogram-recording path must stay O(1) in
+    the bucket count. The guard threshold is generous (5 µs/op) so slow
+    CI machines never flake, but a reintroduced per-sample bound scan or
+    eager registry sync would blow straight through it.
+    """
+    from repro.service.metrics import ServiceMetrics
+
+    n = 200_000
+    best = {"count_only": float("inf"), "with_latency": float("inf")}
+    for _ in range(max(1, REPEATS) + 1):
+        m = ServiceMetrics(timing=False)
+        t0 = time.perf_counter()
+        for _ in range(n):
+            m.record_op("admit")
+        best["count_only"] = min(best["count_only"],
+                                 time.perf_counter() - t0)
+
+        m = ServiceMetrics(timing=True)
+        t0 = time.perf_counter()
+        for _ in range(n):
+            m.record_op("admit", 0.000123)
+        best["with_latency"] = min(best["with_latency"],
+                                   time.perf_counter() - t0)
+    out = {"samples": n}
+    for name, sec in best.items():
+        us = sec / n * 1e6
+        out[f"{name}_us_per_op"] = round(us, 4)
+        if us > 5.0:
+            raise AssertionError(
+                f"record_op ({name}) costs {us:.2f} us/op — the metrics "
+                "hot path regressed past the 5 us guard"
+            )
+    return out
+
+
 def bench_server_roundtrip() -> dict:
     import asyncio
     import tempfile
@@ -232,6 +277,8 @@ def main() -> None:
     print(f"replaying {TARGET_LIVE}-stream churn trace "
           "(incremental vs full)...")
     report["workloads"]["churn_60"] = bench_churn()
+    print("microbenchmarking metrics hot path (record_op)...")
+    report["workloads"]["metrics_overhead"] = bench_metrics_overhead()
     if RUN_SERVER:
         print("timing broker server round-trips (unix socket)...")
         report["workloads"]["server_roundtrip"] = bench_server_roundtrip()

@@ -31,6 +31,18 @@ Commands
     or integer node ids; the legacy top-level ``mesh`` key is still
     accepted. Exit codes: 0 feasible, 1 infeasible, 2 invalid problem,
     3 malformed JSON, 4 missing file.
+``explain FILE STREAM``
+    Show *where a stream's delay bound comes from*: the HP elements
+    (DIRECT/INDIRECT) with their busy-slot contributions, the released
+    indirect instances, and an annotated timing diagram (see
+    :mod:`repro.obs.provenance`). ``--json`` emits the machine-readable
+    breakdown. Exit codes follow ``check``, plus 0/1 for the stream's own
+    feasibility.
+``trace JSONL OUT``
+    Convert a JSONL trace (recorded with ``REPRO_TRACE=1``; see
+    :mod:`repro.obs.trace`) to Chrome trace format for ``about:tracing``
+    / Perfetto. ``--clock logical`` matches ``REPRO_TRACE_CLOCK=logical``
+    recordings.
 ``fuzz``
     Differential soundness fuzzing (see :mod:`repro.fuzz`): random
     workloads through analysis and simulator, invariant cross-checks,
@@ -44,7 +56,8 @@ Commands
     (``--host``/``--port``) exposing admit/release/query/report/snapshot/
     stats ops, with optional snapshot+journal persistence
     (``--state-dir``). ``REPRO_INCREMENTAL=0`` (or ``--no-incremental``)
-    forces full reanalysis on every request.
+    forces full reanalysis on every request. ``--metrics-port PORT``
+    additionally serves Prometheus metrics on ``GET /metrics``.
 ``load``
     Replay seeded admit/release churn against a running broker and print
     a JSON summary (throughput, acceptance rate, server stats). Used by
@@ -102,6 +115,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--out", default=None,
                          help="write the report as JSON to this path")
 
+    p_explain = sub.add_parser(
+        "explain",
+        help="show where a stream's delay bound comes from",
+    )
+    p_explain.add_argument("file", help="JSON problem description")
+    p_explain.add_argument("stream", type=int,
+                           help="stream id to explain")
+    p_explain.add_argument("--json", action="store_true",
+                           help="emit the explanation as JSON")
+    p_explain.add_argument("--no-diagram", action="store_true",
+                           help="skip the annotated timing diagram")
+
+    p_trace = sub.add_parser(
+        "trace", help="convert a JSONL trace to Chrome trace format"
+    )
+    p_trace.add_argument("jsonl", help="trace file written under REPRO_TRACE")
+    p_trace.add_argument("out", help="Chrome trace JSON output path")
+    p_trace.add_argument("--clock", choices=["wall", "logical"],
+                         default="wall",
+                         help="timestamp base the trace was recorded with "
+                              "(REPRO_TRACE_CLOCK; default wall)")
+
     p_fuzz = sub.add_parser(
         "fuzz", help="differential soundness fuzzing (analysis vs simulator)"
     )
@@ -155,6 +190,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="analysis residency margin (default 0)")
     p_serve.add_argument("--batch-max", type=int, default=64,
                          help="max requests drained per worker wakeup")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         metavar="PORT",
+                         help="serve Prometheus metrics over HTTP on "
+                              "127.0.0.1:PORT (GET /metrics)")
+    p_serve.add_argument("--metrics-host", default="127.0.0.1",
+                         help="bind address for --metrics-port "
+                              "(default 127.0.0.1)")
 
     p_load = sub.add_parser(
         "load", help="replay admit/release churn against a running broker"
@@ -279,6 +321,47 @@ def _run_check(path: str, out: Optional[str] = None) -> int:
     return 0 if report.success else 1
 
 
+def _run_explain(args: argparse.Namespace) -> int:
+    from .io import load_problem
+    from .obs.provenance import explain_stream, render_explanation
+
+    try:
+        topology, routing, streams = load_problem(args.file)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.file}", file=sys.stderr)
+        return 4
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.file} is not valid JSON: {exc}", file=sys.stderr)
+        return 3
+    if args.stream not in streams:
+        known = ", ".join(str(s.stream_id) for s in streams)
+        print(f"error: no stream {args.stream} in {args.file} "
+              f"(streams: {known})", file=sys.stderr)
+        return 2
+    analyzer = FeasibilityAnalyzer(streams, routing)
+    explanation = explain_stream(analyzer, args.stream)
+    if args.json:
+        print(json.dumps(explanation.to_spec(), indent=2))
+    else:
+        print(render_explanation(
+            explanation,
+            analyzer=None if args.no_diagram else analyzer,
+        ))
+    return 0 if explanation.feasible else 1
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from .obs.chrome import export_chrome_trace
+
+    try:
+        count = export_chrome_trace(args.jsonl, args.out, clock=args.clock)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.jsonl}", file=sys.stderr)
+        return 4
+    print(f"wrote {count} events to {args.out}")
+    return 0
+
+
 def _parse_mesh(text: str) -> tuple:
     try:
         w, h = text.lower().split("x")
@@ -377,6 +460,12 @@ def _run_serve(args: argparse.Namespace) -> int:
         else:
             await server.start_tcp(args.host, args.port)
             where = f"{args.host}:{args.port}"
+        if args.metrics_port is not None:
+            await server.start_metrics_http(
+                args.metrics_host, args.metrics_port
+            )
+            print(f"metrics on http://{args.metrics_host}:"
+                  f"{args.metrics_port}/metrics", flush=True)
         mode = "incremental" if server.engine.incremental else "full"
         print(f"repro-broker listening on {where} "
               f"({mode} engine, {len(server.engine.admitted)} recovered)",
@@ -412,12 +501,18 @@ def _run_load(args: argparse.Namespace) -> int:
     print(json.dumps(summary.to_dict(), indent=2))
     if summary.errors:
         return 1
-    if args.assert_stats and not (
-        summary.server_stats
-        and summary.server_stats.get("engine", {}).get("ops", 0) > 0
-    ):
-        print("error: server stats empty", file=sys.stderr)
-        return 1
+    if args.assert_stats:
+        engine = (summary.server_stats or {}).get("engine", {})
+        missing = [k for k in
+                   ("dirty_last", "dirty_max", "dirty_total")
+                   if k not in engine]
+        if not engine.get("ops", 0):
+            print("error: server stats empty", file=sys.stderr)
+            return 1
+        if missing:
+            print(f"error: engine stats miss gauge(s) {missing}",
+                  file=sys.stderr)
+            return 1
     return 0
 
 
@@ -435,6 +530,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_inversion()
         if args.command == "check":
             return _run_check(args.file, args.out)
+        if args.command == "explain":
+            return _run_explain(args)
+        if args.command == "trace":
+            return _run_trace(args)
         if args.command == "fuzz":
             return _run_fuzz(args)
         if args.command == "serve":

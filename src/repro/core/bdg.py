@@ -20,6 +20,7 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 import networkx as nx
 
 from ..errors import AnalysisError
+from ..obs.trace import active as _trace_active
 from .hpset import HPSet
 from .streams import StreamSet
 
@@ -49,19 +50,28 @@ def build_bdg(
     """
     j = hp.owner_id
     members = {e.stream_id for e in hp if e.stream_id != j}
-    g = nx.DiGraph()
-    g.add_node(j, mode="owner")
-    for e in hp:
-        if e.stream_id == j:
-            continue
-        g.add_node(e.stream_id, mode=e.mode.value)
-    node_set = members | {j}
-    for u in node_set:
-        if u not in blockers:
-            raise AnalysisError(f"no blocking info for stream {u}")
-        for v in blockers[u]:
-            if v in node_set and v != u:
-                g.add_edge(u, v)
+    # Hot path (once per Cal_U with indirect members): guard the span
+    # explicitly so the disabled cost is one call and a None test.
+    tr = _trace_active()
+    if tr is not None:
+        tr.begin("build_bdg", "analysis", owner=j, members=len(members))
+    try:
+        g = nx.DiGraph()
+        g.add_node(j, mode="owner")
+        for e in hp:
+            if e.stream_id == j:
+                continue
+            g.add_node(e.stream_id, mode=e.mode.value)
+        node_set = members | {j}
+        for u in node_set:
+            if u not in blockers:
+                raise AnalysisError(f"no blocking info for stream {u}")
+            for v in blockers[u]:
+                if v in node_set and v != u:
+                    g.add_edge(u, v)
+    finally:
+        if tr is not None:
+            tr.end("build_bdg", "analysis")
     return g
 
 

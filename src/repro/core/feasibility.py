@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Mapping, Optional, Set, Tuple
 
 from ..errors import AnalysisError
+from ..obs.trace import active as _trace_active, span as _span
 from ..topology.base import Channel
 from ..topology.routing import RoutingAlgorithm
 from .hpset import HPSet, build_all_hp_sets, direct_blockers, stream_channels
@@ -71,6 +72,9 @@ class FeasibilityReport:
 
     verdicts: Mapping[int, StreamVerdict]
     success: bool
+    #: Per-stream bound provenance (see :mod:`repro.obs.provenance`);
+    #: only populated by ``determine_feasibility(explain=True)``.
+    explanations: Optional[Mapping[int, object]] = None
 
     @classmethod
     def trivial(cls) -> "FeasibilityReport":
@@ -350,9 +354,21 @@ class FeasibilityAnalyzer:
         bound exceeds the horizon."""
         stream = self.streams[stream_id]
         dtime = int(horizon) if horizon is not None else stream.deadline
-        diagram, removed = self.diagram_for(stream_id, dtime)
-        assert stream.latency is not None
-        u = diagram.upper_bound(stream.latency)
+        # Called once per stream per horizon: guard the span with an
+        # explicit active() check so the disabled path costs one call and
+        # a None test instead of a nullcontext enter/exit.
+        tr = _trace_active()
+        if tr is not None:
+            tr.begin("cal_u", "analysis", stream=stream_id, horizon=dtime)
+        try:
+            diagram, removed = self.diagram_for(stream_id, dtime)
+            assert stream.latency is not None
+            u = diagram.upper_bound(stream.latency)
+            if tr is not None:
+                tr.instant("cal_u.result", "analysis", stream=stream_id, u=u)
+        finally:
+            if tr is not None:
+                tr.end("cal_u", "analysis")
         return StreamVerdict(
             stream=stream,
             upper_bound=u,
@@ -419,18 +435,35 @@ class FeasibilityAnalyzer:
     # Whole-set test (Determine-Feasibility)
     # ------------------------------------------------------------------ #
 
-    def determine_feasibility(self) -> FeasibilityReport:
+    def determine_feasibility(
+        self, *, explain: bool = False
+    ) -> FeasibilityReport:
         """Run the paper's ``Determine-Feasibility`` over all streams.
 
         Streams are processed from the highest priority level downwards
         (the ``GList`` loop); the report is a success iff every stream's
-        bound exists within its deadline.
+        bound exists within its deadline. With ``explain=True`` the report
+        additionally carries full per-stream bound provenance (see
+        :mod:`repro.obs.provenance`) — an offline/debug path that roughly
+        doubles the analysis cost.
         """
-        verdicts: Dict[int, StreamVerdict] = {}
-        for stream in self.streams.sorted_by_priority():
-            verdicts[stream.stream_id] = self.cal_u(stream.stream_id)
-        success = all(v.feasible for v in verdicts.values())
-        return FeasibilityReport(verdicts=verdicts, success=success)
+        with _span(
+            "determine_feasibility", "analysis", n=len(self.streams),
+            explain=explain,
+        ):
+            verdicts: Dict[int, StreamVerdict] = {}
+            for stream in self.streams.sorted_by_priority():
+                verdicts[stream.stream_id] = self.cal_u(stream.stream_id)
+            success = all(v.feasible for v in verdicts.values())
+            explanations = None
+            if explain:
+                # Local import: provenance depends on this module.
+                from ..obs.provenance import explain_report
+
+                explanations = explain_report(self)
+        return FeasibilityReport(
+            verdicts=verdicts, success=success, explanations=explanations
+        )
 
     def all_upper_bounds(
         self, *, max_horizon: int = 1 << 20

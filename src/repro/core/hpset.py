@@ -32,6 +32,7 @@ from enum import Enum
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
 from ..errors import AnalysisError
+from ..obs.trace import active as _trace_active, span as _span
 from ..topology.base import Channel
 from ..topology.routing import RoutingAlgorithm
 from .streams import MessageStream, StreamSet
@@ -295,10 +296,19 @@ def build_all_hp_sets(
     missing = [s.stream_id for s in streams if s.stream_id not in channels]
     if missing:
         raise AnalysisError(f"no channel set for stream ids {missing}")
-    blockers = direct_blockers(streams, channels)
-    return {
-        s.stream_id: build_hp_set(
-            s, streams, blockers, include_self=include_self
-        )
-        for s in streams
-    }
+    # Hoist the active() check out of the per-stream loop so the disabled
+    # path pays one call for the whole build, not one per hp_set instant.
+    tr = _trace_active()
+    with _span("build_hp_sets", "analysis", n=len(streams)):
+        blockers = direct_blockers(streams, channels)
+        out = {}
+        for s in streams:
+            hp = build_hp_set(s, streams, blockers, include_self=include_self)
+            if tr is not None:
+                tr.instant(
+                    "hp_set", "analysis", stream=s.stream_id,
+                    direct=len(hp.direct_ids()),
+                    indirect=len(hp.indirect_ids()),
+                )
+            out[s.stream_id] = hp
+    return out

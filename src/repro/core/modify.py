@@ -49,6 +49,7 @@ from typing import AbstractSet, Dict, Mapping, Set, Tuple
 import numpy as np
 
 from ..errors import AnalysisError
+from ..obs.trace import active as _trace_active
 from .bdg import indirect_processing_order
 from .hpset import HPSet
 from .streams import MessageStream, StreamSet
@@ -162,39 +163,58 @@ def modify_diagram(
         )
     )
     removed: Dict[int, Set[int]] = {}
-    diagram = generate_init_diagram(
-        owner.stream_id, row_streams, dtime, removed=removed
-    )
-    order = indirect_processing_order(hp, blockers, streams)
-    if not order:
-        return diagram, removed
+    # Hot path (once per Cal_U): guard the span explicitly so the
+    # disabled cost is one call and a None test.
+    tr = _trace_active()
+    if tr is not None:
+        tr.begin(
+            "modify_diagram", "analysis",
+            owner=owner.stream_id, dtime=int(dtime), granularity=granularity,
+        )
+    try:
+        diagram = generate_init_diagram(
+            owner.stream_id, row_streams, dtime, removed=removed
+        )
+        order = indirect_processing_order(hp, blockers, streams)
+        if not order:
+            return diagram, removed
 
-    passes = max_passes if fixpoint else 1
-    for _ in range(passes):
-        changed = False
-        for k in order:
-            entry = hp[k]
-            if granularity == "instance":
-                new = set(
-                    releasable_instances(diagram, k, entry.intermediates)
-                )
-            else:
-                new = set(
-                    int(t) for t in
-                    releasable_slots(diagram, k, entry.intermediates)
-                )
-            fresh = new - removed.get(k, set())
-            if fresh:
-                removed.setdefault(k, set()).update(fresh)
-                # Releasing demand of k only changes k's row and the rows
-                # below it; the prefix above is untouched.
+        passes = max_passes if fixpoint else 1
+        for _ in range(passes):
+            changed = False
+            for k in order:
+                entry = hp[k]
                 if granularity == "instance":
-                    refill_rows(diagram, removed,
-                                start_row=diagram.row_of(k))
+                    new = set(
+                        releasable_instances(diagram, k, entry.intermediates)
+                    )
                 else:
-                    refill_rows(diagram, {}, erased_slots=removed,
-                                start_row=diagram.row_of(k))
-                changed = True
-        if not changed:
-            break
+                    new = set(
+                        int(t) for t in
+                        releasable_slots(diagram, k, entry.intermediates)
+                    )
+                fresh = new - removed.get(k, set())
+                if fresh:
+                    removed.setdefault(k, set()).update(fresh)
+                    if tr is not None:
+                        tr.instant(
+                            "modify.release", "analysis",
+                            owner=owner.stream_id, stream=k,
+                            released=sorted(int(x) for x in fresh),
+                            granularity=granularity,
+                        )
+                    # Releasing demand of k only changes k's row and the
+                    # rows below it; the prefix above is untouched.
+                    if granularity == "instance":
+                        refill_rows(diagram, removed,
+                                    start_row=diagram.row_of(k))
+                    else:
+                        refill_rows(diagram, {}, erased_slots=removed,
+                                    start_row=diagram.row_of(k))
+                    changed = True
+            if not changed:
+                break
+    finally:
+        if tr is not None:
+            tr.end("modify_diagram", "analysis")
     return diagram, removed

@@ -45,6 +45,7 @@ from typing import AbstractSet, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import AnalysisError
+from ..obs.trace import active as _trace_active
 from .streams import MessageStream
 
 __all__ = [
@@ -311,14 +312,30 @@ def generate_init_diagram(
     WAITING. Slots it allocates become BUSY for every lower row.
     """
     removed = removed or {}
-    diagram = TimingDiagram(owner_id, row_streams, dtime)
-    for prev, cur in zip(diagram.row_streams[:-1], diagram.row_streams[1:]):
-        if (prev.priority, -prev.stream_id) < (cur.priority, -cur.stream_id):
-            raise AnalysisError(
-                "diagram rows must be sorted by non-increasing priority "
-                f"(ties by id): {prev.stream_id} before {cur.stream_id}"
-            )
-    refill_rows(diagram, removed, erased_slots=erased_slots, start_row=0)
+    # Hot path (re-run on every Cal_U / Modify_Diagram pass): guard the
+    # span explicitly so the disabled cost is one call and a None test.
+    tr = _trace_active()
+    if tr is not None:
+        tr.begin(
+            "generate_init_diagram", "analysis",
+            owner=owner_id, rows=len(row_streams), dtime=int(dtime),
+        )
+    try:
+        diagram = TimingDiagram(owner_id, row_streams, dtime)
+        for prev, cur in zip(
+            diagram.row_streams[:-1], diagram.row_streams[1:]
+        ):
+            if (prev.priority, -prev.stream_id) < (
+                cur.priority, -cur.stream_id
+            ):
+                raise AnalysisError(
+                    "diagram rows must be sorted by non-increasing priority "
+                    f"(ties by id): {prev.stream_id} before {cur.stream_id}"
+                )
+        refill_rows(diagram, removed, erased_slots=erased_slots, start_row=0)
+    finally:
+        if tr is not None:
+            tr.end("generate_init_diagram", "analysis")
     return diagram
 
 

@@ -166,8 +166,13 @@ def save_problem(
 
 
 def report_to_spec(report: FeasibilityReport) -> Dict[str, Any]:
-    """Serialise a feasibility report (bounds, verdicts, success)."""
-    return {
+    """Serialise a feasibility report (bounds, verdicts, success).
+
+    When the report carries provenance (``determine_feasibility(
+    explain=True)``), an ``"explanations"`` key maps stream ids to the
+    per-stream breakdown (see :mod:`repro.obs.provenance`).
+    """
+    spec: Dict[str, Any] = {
         "success": report.success,
         "streams": {
             str(sid): {
@@ -179,3 +184,9 @@ def report_to_spec(report: FeasibilityReport) -> Dict[str, Any]:
             for sid, v in sorted(report.verdicts.items())
         },
     }
+    if report.explanations is not None:
+        spec["explanations"] = {
+            str(sid): exp.to_spec()
+            for sid, exp in sorted(report.explanations.items())
+        }
+    return spec

@@ -86,6 +86,17 @@ class EngineStats:
     full_fallbacks: int = 0
     route_cache_hits: int = 0
     route_cache_misses: int = 0
+    #: Dirty-frontier sizes of incremental ops (last / running max / sum).
+    dirty_last: int = 0
+    dirty_max: int = 0
+    dirty_total: int = 0
+
+    def note_dirty(self, size: int) -> None:
+        """Record one incremental op's dirty-frontier size."""
+        self.dirty_last = size
+        if size > self.dirty_max:
+            self.dirty_max = size
+        self.dirty_total += size
 
     def cache_hit_rate(self) -> float:
         """Fraction of per-op verdicts served from cache."""
@@ -97,6 +108,7 @@ class EngineStats:
             "ops", "admits", "rejects", "releases",
             "verdicts_recomputed", "verdicts_reused", "hp_rebuilt",
             "full_fallbacks", "route_cache_hits", "route_cache_misses",
+            "dirty_last", "dirty_max", "dirty_total",
         )}
         out["cache_hit_rate"] = round(self.cache_hit_rate(), 4)
         return out
@@ -272,6 +284,7 @@ class IncrementalAdmissionEngine:
             return
         # Dirty set on the OLD graph: whoever could reach a removed id.
         dirty = self._reverse_reachable(ids) - set(ids)
+        self.stats.note_dirty(len(dirty))
         for sid in ids:
             self._detach(sid)
         if dirty and len(dirty) >= len(self._admitted):
@@ -293,6 +306,7 @@ class IncrementalAdmissionEngine:
         added = [r.stream_id for r in requests]
         dirty = self._reverse_reachable(added)
         dirty.update(added)
+        self.stats.note_dirty(len(dirty))
         if len(dirty) >= len(self._admitted):
             report = self._full_rebuild()
             self.stats.full_fallbacks += 1

@@ -4,67 +4,99 @@ The broker tracks, per protocol op, a request counter and a latency
 histogram with power-of-two bucket boundaries (microseconds up to ~8 s),
 plus admit/reject outcome counters and the batch sizes the worker drained
 from the request queue. Everything is exposed through the ``stats`` op —
-no external metrics dependency is assumed.
+no external metrics dependency is assumed — and, since PR 4, through the
+shared :class:`~repro.obs.metrics.MetricsRegistry` as Prometheus text
+(``stats`` with ``format: "prometheus"``, or the ``--metrics-port`` HTTP
+scrape endpoint of ``repro serve``).
+
+Hot-path cost: the worker loop records one latency sample per request.
+Bucketing is O(1) (one ``bit_length`` on the power-of-two ladder — the
+original implementation scanned all 24 bounds per sample), and the two
+``time.perf_counter()`` reads per request can be disabled entirely with
+``REPRO_SERVICE_TIMING=0`` (op/outcome counters are always kept; only
+the latency histograms go dark). ``benchmarks/perf/run_admission.py``
+pins the per-sample cost with a microbenchmark guard.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, List, Optional
 
-__all__ = ["LatencyHistogram", "ServiceMetrics"]
+from ..obs.metrics import (
+    DEFAULT_TIME_BUCKETS_US,
+    Histogram as _Histogram,
+    MetricsRegistry,
+)
+
+__all__ = ["LatencyHistogram", "ServiceMetrics", "TIMING_ENV"]
+
+#: Disable per-request wall-clock latency sampling when set to 0/false.
+TIMING_ENV = "REPRO_SERVICE_TIMING"
 
 # Bucket upper bounds in microseconds: 1us, 2us, ... ~8.4s, +inf.
-_BUCKET_BOUNDS_US = [1 << i for i in range(24)]
+_BUCKET_BOUNDS_US = list(DEFAULT_TIME_BUCKETS_US)
+
+
+def timing_enabled_from_env() -> bool:
+    return os.environ.get(TIMING_ENV, "1").lower() not in (
+        "", "0", "false", "no", "off",
+    )
 
 
 class LatencyHistogram:
-    """Latency histogram with power-of-two microsecond buckets."""
+    """Latency histogram with power-of-two microsecond buckets.
 
-    def __init__(self) -> None:
-        self.counts: List[int] = [0] * (len(_BUCKET_BOUNDS_US) + 1)
-        self.total_seconds = 0.0
-        self.max_seconds = 0.0
-        self.count = 0
+    A seconds-based facade over :class:`repro.obs.metrics.Histogram`
+    (which observes microseconds and does the O(1) bucketing); the broker
+    registers the underlying histogram in the shared registry so the
+    same counts serve both the JSON ``stats`` op and Prometheus export.
+    """
+
+    __slots__ = ("_h",)
+
+    def __init__(self, hist: Optional[_Histogram] = None) -> None:
+        self._h = hist if hist is not None else _Histogram()
 
     def record(self, seconds: float) -> None:
-        us = seconds * 1e6
-        for i, bound in enumerate(_BUCKET_BOUNDS_US):
-            if us <= bound:
-                self.counts[i] += 1
-                break
-        else:
-            self.counts[-1] += 1
-        self.count += 1
-        self.total_seconds += seconds
-        self.max_seconds = max(self.max_seconds, seconds)
+        self._h.observe(seconds * 1e6)
+
+    @property
+    def count(self) -> int:
+        return self._h.count
+
+    @property
+    def counts(self) -> List[int]:
+        return self._h.counts
+
+    @property
+    def total_seconds(self) -> float:
+        return self._h.sum / 1e6
+
+    @property
+    def max_seconds(self) -> float:
+        return self._h.max / 1e6
 
     def quantile(self, q: float) -> Optional[float]:
         """Approximate quantile in seconds (bucket upper bound), or
         ``None`` when empty."""
-        if self.count == 0:
+        if self._h.count == 0:
             return None
-        target = q * self.count
-        seen = 0
-        for i, c in enumerate(self.counts):
-            seen += c
-            if seen >= target:
-                if i < len(_BUCKET_BOUNDS_US):
-                    return _BUCKET_BOUNDS_US[i] / 1e6
-                return self.max_seconds
-        return self.max_seconds
+        return self._h.quantile(q) / 1e6
 
     def to_dict(self) -> Dict[str, object]:
+        h = self._h
         buckets = {
             f"le_{bound}us": c
-            for bound, c in zip(_BUCKET_BOUNDS_US, self.counts)
+            for bound, c in zip(_BUCKET_BOUNDS_US, h.counts)
             if c
         }
-        if self.counts[-1]:
-            buckets["le_inf"] = self.counts[-1]
-        mean = self.total_seconds / self.count if self.count else 0.0
+        if h.counts[-1]:
+            buckets["le_inf"] = h.counts[-1]
+        mean = self.total_seconds / h.count if h.count else 0.0
         return {
-            "count": self.count,
+            "count": h.count,
             "mean_ms": round(mean * 1e3, 4),
             "max_ms": round(self.max_seconds * 1e3, 4),
             "p50_ms": _ms(self.quantile(0.5)),
@@ -78,9 +110,26 @@ def _ms(seconds: Optional[float]) -> Optional[float]:
 
 
 class ServiceMetrics:
-    """Aggregated broker metrics, serialised by the ``stats`` op."""
+    """Aggregated broker metrics, serialised by the ``stats`` op.
 
-    def __init__(self) -> None:
+    Scalar counters stay plain Python ints (the worker loop touches them
+    once per request); latency histograms live directly in the shared
+    :class:`MetricsRegistry`. :meth:`sync_registry` copies the scalars
+    into registry counters/gauges, so Prometheus rendering reflects the
+    same numbers without taxing the hot path.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        timing: Optional[bool] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Whether per-request latency sampling is on (``REPRO_SERVICE_TIMING``).
+        self.timing_enabled = (
+            timing_enabled_from_env() if timing is None else bool(timing)
+        )
         self.started_at = time.time()
         self.op_counts: Dict[str, int] = {}
         self.op_errors: Dict[str, int] = {}
@@ -92,11 +141,29 @@ class ServiceMetrics:
         self.max_batch = 0
         self.connections = 0
 
-    def record_op(self, op: str, seconds: float, *, error: bool = False) -> None:
+    def record_op(
+        self,
+        op: str,
+        seconds: Optional[float] = None,
+        *,
+        error: bool = False,
+    ) -> None:
+        """Count one request; ``seconds`` feeds the latency histogram
+        (pass ``None`` when timing is disabled)."""
         self.op_counts[op] = self.op_counts.get(op, 0) + 1
         if error:
             self.op_errors[op] = self.op_errors.get(op, 0) + 1
-        self.op_latency.setdefault(op, LatencyHistogram()).record(seconds)
+        if seconds is not None:
+            hist = self.op_latency.get(op)
+            if hist is None:
+                hist = self.op_latency[op] = LatencyHistogram(
+                    self.registry.histogram(
+                        "repro_broker_op_latency_us",
+                        "Request handling latency in microseconds, by op.",
+                        op=op,
+                    )
+                )
+            hist.record(seconds)
 
     def record_batch(self, size: int) -> None:
         self.batches += 1
@@ -127,3 +194,54 @@ class ServiceMetrics:
                 for op, h in sorted(self.op_latency.items())
             },
         }
+
+    # ------------------------------------------------------------------ #
+    # Prometheus export
+    # ------------------------------------------------------------------ #
+
+    def sync_registry(self) -> MetricsRegistry:
+        """Copy the scalar counters into the shared registry and return it.
+
+        Called per export (``stats --format prometheus`` / HTTP scrape),
+        never per request. Latency histograms are already registry-backed.
+        """
+        reg = self.registry
+        reg.gauge(
+            "repro_broker_uptime_seconds", "Seconds since broker start."
+        ).set(time.time() - self.started_at)
+        reg.counter(
+            "repro_broker_connections_total", "Client connections accepted."
+        ).value = float(self.connections)
+        for op, n in self.op_counts.items():
+            reg.counter(
+                "repro_broker_ops_total", "Requests handled, by op.", op=op
+            ).value = float(n)
+        for op, n in self.op_errors.items():
+            reg.counter(
+                "repro_broker_op_errors_total", "Failed requests, by op.",
+                op=op,
+            ).value = float(n)
+        for outcome, n in (
+            ("accepted", self.admitted_ok),
+            ("rejected", self.admitted_rejected),
+        ):
+            reg.counter(
+                "repro_broker_admit_total",
+                "Admission requests, by outcome.",
+                outcome=outcome,
+            ).value = float(n)
+        reg.counter(
+            "repro_broker_batches_total", "Worker queue drains."
+        ).value = float(self.batches)
+        reg.counter(
+            "repro_broker_batched_requests_total",
+            "Requests drained in batches.",
+        ).value = float(self.batched_requests)
+        reg.gauge(
+            "repro_broker_batch_max_size", "Largest batch drained so far."
+        ).set(self.max_batch)
+        return reg
+
+    def render_prometheus(self) -> str:
+        """The service metrics in Prometheus text exposition format."""
+        return self.sync_registry().render()

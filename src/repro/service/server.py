@@ -26,6 +26,7 @@ from .. import __version__
 from ..core.streams import MessageStream
 from ..errors import AnalysisError, ReproError, StreamError
 from ..io import stream_from_spec, stream_to_spec, report_to_spec, topology_from_spec
+from ..obs.trace import span as _span
 from .engine import IncrementalAdmissionEngine
 from .metrics import ServiceMetrics
 from .persistence import BrokerState
@@ -91,6 +92,7 @@ class BrokerServer:
             self._recover()
         self._queue: Optional[asyncio.Queue] = None
         self._server: Optional[asyncio.base_events.Server] = None
+        self._metrics_server: Optional[asyncio.base_events.Server] = None
         self._worker_task: Optional[asyncio.Task] = None
         self._stopping: Optional[asyncio.Event] = None
 
@@ -152,17 +154,24 @@ class BrokerServer:
     def handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Execute one protocol request and return the response object."""
         op = request.get("op")
-        t0 = time.perf_counter()
+        # Lazy latency sampling: with REPRO_SERVICE_TIMING=0 the worker
+        # loop never reads the wall clock (counters are still kept).
+        t0 = time.perf_counter() if self.metrics.timing_enabled else None
         try:
-            response = self._dispatch(op, request)
+            with _span("broker.op", "service", op=str(op)):
+                response = self._dispatch(op, request)
             response["ok"] = True
             if "id" in request:
                 response["id"] = request["id"]
-            self.metrics.record_op(op, time.perf_counter() - t0)
+            self.metrics.record_op(
+                op, None if t0 is None else time.perf_counter() - t0
+            )
             return response
         except ReproError as exc:
             self.metrics.record_op(
-                op or "invalid", time.perf_counter() - t0, error=True
+                op or "invalid",
+                None if t0 is None else time.perf_counter() - t0,
+                error=True,
             )
             return error_response(request, str(exc), code=_error_code(exc))
         except Exception as exc:
@@ -171,7 +180,9 @@ class BrokerServer:
             # (journal append OSError) land here too.
             logger.exception("internal error handling %r", op)
             self.metrics.record_op(
-                op or "invalid", time.perf_counter() - t0, error=True
+                op or "invalid",
+                None if t0 is None else time.perf_counter() - t0,
+                error=True,
             )
             return error_response(
                 request,
@@ -209,6 +220,8 @@ class BrokerServer:
             )
             return {"path": str(path), "streams": len(self.engine.admitted)}
         if op == "stats":
+            if request.get("format") == "prometheus":
+                return {"prometheus": self.prometheus_text()}
             return {
                 "service": self.metrics.to_dict(),
                 "engine": self.engine.stats.to_dict(),
@@ -276,6 +289,58 @@ class BrokerServer:
         }
 
     # ------------------------------------------------------------------ #
+    # Prometheus export
+    # ------------------------------------------------------------------ #
+
+    def prometheus_text(self) -> str:
+        """Service + engine metrics in Prometheus text exposition format.
+
+        Serves the ``stats`` op's ``format: "prometheus"`` variant and the
+        ``--metrics-port`` HTTP scrape endpoint. Synchronisation happens
+        per export, never per request.
+        """
+        reg = self.metrics.sync_registry()
+        es = self.engine.stats
+        reg.gauge(
+            "repro_engine_admitted_streams",
+            "Streams currently admitted by the engine.",
+        ).set(len(self.engine.admitted))
+        for field, help_text in (
+            ("ops", "Engine operations (admit + release calls)."),
+            ("admits", "Accepted admission batches."),
+            ("rejects", "Rejected admission batches."),
+            ("releases", "Release operations."),
+            ("verdicts_recomputed", "Per-stream verdicts recomputed."),
+            ("verdicts_reused", "Per-stream verdicts served from cache."),
+            ("hp_rebuilt", "HP sets rebuilt."),
+            ("full_fallbacks", "Incremental ops that fell back to a full "
+                               "rebuild."),
+            ("route_cache_hits", "Route cache hits."),
+            ("route_cache_misses", "Route cache misses."),
+            ("dirty_frontier_total", "Sum of dirty-frontier sizes over "
+                                     "incremental ops."),
+        ):
+            attr = "dirty_total" if field == "dirty_frontier_total" else field
+            reg.counter(
+                f"repro_engine_{field}_total"
+                if not field.endswith("_total") else f"repro_engine_{field}",
+                help_text,
+            ).value = float(getattr(es, attr))
+        reg.gauge(
+            "repro_engine_cache_hit_rate",
+            "Fraction of per-stream verdicts served from cache.",
+        ).set(es.cache_hit_rate())
+        reg.gauge(
+            "repro_engine_dirty_frontier_last",
+            "Dirty-frontier size of the most recent incremental op.",
+        ).set(es.dirty_last)
+        reg.gauge(
+            "repro_engine_dirty_frontier_max",
+            "Largest dirty frontier seen.",
+        ).set(es.dirty_max)
+        return reg.render()
+
+    # ------------------------------------------------------------------ #
     # Asyncio front end
     # ------------------------------------------------------------------ #
 
@@ -297,6 +362,54 @@ class BrokerServer:
         self._queue = asyncio.Queue()
         self._stopping = asyncio.Event()
         self._worker_task = asyncio.create_task(self._worker())
+
+    async def start_metrics_http(self, host: str, port: int) -> None:
+        """Start a minimal HTTP listener serving ``GET /metrics``.
+
+        One-shot, dependency-free Prometheus scrape endpoint: each
+        connection gets one response (``Connection: close``). Runs on the
+        broker's event loop; rendering reads engine state between worker
+        batches, so scrapes observe consistent counters.
+        """
+        self._metrics_server = await asyncio.start_server(
+            self._metrics_client, host=host, port=port
+        )
+
+    async def _metrics_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            parts = request_line.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            while True:
+                header = await reader.readline()
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+            if path in ("/metrics", "/"):
+                body = self.prometheus_text().encode()
+                status = "200 OK"
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+            else:
+                body = b"not found\n"
+                status = "404 Not Found"
+                ctype = "text/plain; charset=utf-8"
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            await self._close_writer(writer)
 
     async def serve_forever(self) -> None:
         """Serve until a ``shutdown`` op (or :meth:`request_shutdown`)."""
@@ -321,6 +434,10 @@ class BrokerServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         if self._worker_task is not None:
             if self._queue is not None:
                 try:

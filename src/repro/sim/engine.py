@@ -36,6 +36,7 @@ from abc import ABC, abstractmethod
 from typing import List, Optional, Tuple
 
 from ..errors import DeadlockError, SimulationError
+from ..obs.trace import active as _trace_active
 
 __all__ = ["SimulationKernel"]
 
@@ -59,6 +60,10 @@ class SimulationKernel(ABC):
         self._pending: List[Tuple[int, int, object]] = []
         self._pending_seq = 0
         self._stall = 0
+        #: Cached observability tracer; refreshed at every :meth:`run` so
+        #: the per-cycle body never touches the trace module when tracing
+        #: is disabled (``None``).
+        self._obs = None
 
     # ------------------------------------------------------------------ #
     # Release heap
@@ -126,6 +131,7 @@ class SimulationKernel(ABC):
             raise SimulationError(
                 f"cannot run until {until}; clock is already at {self.now}"
             )
+        obs = self._obs = _trace_active()
         while self.now < until:
             if not self._has_work():
                 nxt = self.next_release()
@@ -154,8 +160,14 @@ class SimulationKernel(ABC):
                         )
                     self._stall += skipped
                 if end >= until:
+                    if obs is not None and until > self.now:
+                        obs.emit("i", "sim.clock_jump", "sim",
+                                 {"t0": self.now, "t1": until})
                     self.now = until
                     break
+                if obs is not None and end > self.now:
+                    obs.emit("i", "sim.clock_jump", "sim",
+                             {"t0": self.now, "t1": end})
                 self.now = end
             self.now += 1
             pending = self._pending

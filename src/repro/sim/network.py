@@ -405,6 +405,11 @@ class WormholeSimulator(SimulationKernel):
         now = self.now
         movable = self._movable
         heap = self._ready_heap
+        # Observability: park/arbitration events are buffered and emitted
+        # sorted at cycle end — the movable set iterates in id() order,
+        # which varies between runs, and traces must not.
+        obs = self._obs
+        ev = [] if obs is not None else None
         while heap and heap[0][0] <= now:
             vc = heapq.heappop(heap)[2]
             if vc.count and vc.owner is not None:
@@ -448,6 +453,13 @@ class WormholeSimulator(SimulationKernel):
                         if dvc.count >= dvc.capacity:
                             movable.discard(vc)
                             wait_space[dvc] = vc
+                            if ev is not None:
+                                ev.append(("sim.vc_wait", msg.msg_id, {
+                                    "msg": msg.msg_id,
+                                    "stream": msg.stream_id,
+                                    "position": vc.position,
+                                    "waiting_for": "space",
+                                }))
                             continue
                     else:
                         bound = min(self._prio_rank[msg.priority], last_vc)
@@ -458,6 +470,13 @@ class WormholeSimulator(SimulationKernel):
                             movable.discard(vc)
                             for i in range(bound, -1, -1):
                                 wait_free.setdefault(tgt[i], []).append(vc)
+                            if ev is not None:
+                                ev.append(("sim.vc_wait", msg.msg_id, {
+                                    "msg": msg.msg_id,
+                                    "stream": msg.stream_id,
+                                    "position": vc.position,
+                                    "waiting_for": "free",
+                                }))
                             continue
                 else:
                     towner = tgt.owner
@@ -465,6 +484,13 @@ class WormholeSimulator(SimulationKernel):
                         if tgt.count >= tgt.capacity:
                             movable.discard(vc)
                             wait_space[tgt] = vc
+                            if ev is not None:
+                                ev.append(("sim.vc_wait", msg.msg_id, {
+                                    "msg": msg.msg_id,
+                                    "stream": msg.stream_id,
+                                    "position": vc.position,
+                                    "waiting_for": "space",
+                                }))
                             continue
                     elif towner is not None:
                         movable.discard(vc)
@@ -473,6 +499,14 @@ class WormholeSimulator(SimulationKernel):
                             wait_free[tgt] = [vc]
                         else:
                             waiters.append(vc)
+                        if ev is not None:
+                            ev.append(("sim.vc_wait", msg.msg_id, {
+                                "msg": msg.msg_id,
+                                "stream": msg.stream_id,
+                                "position": vc.position,
+                                "waiting_for": "free",
+                                "holder": towner.msg_id,
+                            }))
                         if kill and towner.priority < msg.priority:
                             self._kill_pending.add(towner.msg_id)
                         continue
@@ -508,6 +542,15 @@ class WormholeSimulator(SimulationKernel):
         for cid, cand in sorted(wants.items()) if li else wants.items():
             if type(cand) is list:
                 vc, msg = select(chan_list[cid], cand, now)
+                if ev is not None:
+                    ev.append(("sim.preempt", cid, {
+                        "channel": list(chan_list[cid]),
+                        "winner": msg.msg_id,
+                        "stream": msg.stream_id,
+                        "losers": sorted(
+                            m.msg_id for _, m in cand if m is not msg
+                        ),
+                    }))
             else:
                 vc = cand
                 msg = vc.owner
@@ -598,6 +641,9 @@ class WormholeSimulator(SimulationKernel):
                     dvc.ready.append(now + hop_delay)
             moved += 1
         self.total_transfers += moved
+        if ev:
+            for name, _, args in sorted(ev, key=lambda e: (e[0], e[1])):
+                obs.emit("i", name, "sim", dict(args, t=now))
         if self._kill_pending:
             for victim_id in sorted(self._kill_pending):
                 self._kill_message(victim_id)
@@ -703,6 +749,10 @@ class WormholeSimulator(SimulationKernel):
         victim = self._messages.pop(msg_id, None)
         if victim is None:
             return  # finished in this very cycle
+        if self._obs is not None:
+            self._obs.emit("i", "sim.kill", "sim", {
+                "t": self.now, "msg": msg_id, "stream": victim.stream_id,
+            })
         fast = self.fastpath
         chain = self._chains.pop(msg_id)
         for vc in chain:
