@@ -62,6 +62,15 @@ Commands
     Replay seeded admit/release churn against a running broker and print
     a JSON summary (throughput, acceptance rate, server stats). Used by
     the CI smoke job and for capacity probing.
+``chaos``
+    Run a seeded fault-injection campaign against the broker (see
+    :mod:`repro.faults`): a fault-free oracle executes an op schedule,
+    then the same schedule runs against a persistent broker while
+    persistence, protocol and engine faults fire (torn journal writes,
+    kills + restarts, dropped connections, cache storms). Exit 0 iff the
+    recovered state is bit-identical to the oracle, no acknowledged op
+    was lost, and at least ``--min-faults`` faults fired. The printed
+    seed reproduces the campaign exactly.
 """
 
 from __future__ import annotations
@@ -220,6 +229,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit 1 unless server stats are non-empty")
     p_load.add_argument("--shutdown", action="store_true",
                         help="send a shutdown op after the run")
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign against the channel broker",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="campaign seed (default 0); reproduces "
+                              "schedule and fault placement exactly")
+    p_chaos.add_argument("--ops", type=int, default=150,
+                         help="schedule length (default 150)")
+    p_chaos.add_argument("--mesh", default="6x6", metavar="WxH",
+                         help="mesh size (default 6x6)")
+    p_chaos.add_argument("--target-live", type=int, default=12,
+                         help="occupancy the churn hovers around")
+    p_chaos.add_argument("--persistence-rate", type=float, default=0.30,
+                         help="per-op probability of a journal fault")
+    p_chaos.add_argument("--protocol-rate", type=float, default=0.45,
+                         help="per-op probability of a connection fault")
+    p_chaos.add_argument("--engine-rate", type=float, default=0.18,
+                         help="per-op probability of a cache storm")
+    p_chaos.add_argument("--restart-rate", type=float, default=0.06,
+                         help="per-op probability of a socket-stage "
+                              "server restart")
+    p_chaos.add_argument("--socket-fraction", type=float, default=0.4,
+                         help="fraction of ops run over a real unix "
+                              "socket (default 0.4)")
+    p_chaos.add_argument("--state-dir", default=None, metavar="DIR",
+                         help="broker state dir (default: a temp dir)")
+    p_chaos.add_argument("--min-faults", type=int, default=0,
+                         help="fail unless at least this many faults "
+                              "fired across all three layers")
 
     return parser
 
@@ -516,6 +556,43 @@ def _run_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    from .faults import ChaosConfig, run_chaos_campaign
+
+    width, height = _parse_mesh(args.mesh)
+    cfg = ChaosConfig(
+        seed=args.seed,
+        ops=args.ops,
+        width=width,
+        height=height,
+        target_live=args.target_live,
+        persistence_rate=args.persistence_rate,
+        protocol_rate=args.protocol_rate,
+        engine_rate=args.engine_rate,
+        restart_rate=args.restart_rate,
+        socket_fraction=args.socket_fraction,
+    )
+    report = run_chaos_campaign(cfg, state_dir=args.state_dir)
+    print(json.dumps(report.to_dict(), indent=2))
+    print(report.summary(), file=sys.stderr)
+    if not report.ok:
+        return 1
+    if report.faults_total < args.min_faults:
+        print(
+            f"error: only {report.faults_total} faults fired "
+            f"(--min-faults {args.min_faults})",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_faults and report.layers_covered < 3:
+        print(
+            f"error: only {report.layers_covered}/3 fault layers covered",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -540,6 +617,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_serve(args)
         if args.command == "load":
             return _run_load(args)
+        if args.command == "chaos":
+            return _run_chaos(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

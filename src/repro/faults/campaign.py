@@ -1,0 +1,698 @@
+"""Chaos campaign driver: seeded faults vs a fault-free oracle.
+
+A campaign replays one seeded admit/release schedule twice:
+
+1. **Oracle run** — an in-process broker with no persistence and no
+   faults executes the schedule; its end state is fingerprinted.
+2. **Chaos run** — the same schedule executes against a persistent
+   broker while faults fire at all three layers (see
+   :mod:`repro.faults.plane`): journal writes are torn, the process is
+   "killed" (:class:`InjectedCrash`) and restarted from disk,
+   connections drop mid-request, caches are stormed. The driver behaves
+   like a correct client: idempotent request ids and at-least-once
+   retries, ``snapshot`` to clear degraded mode.
+
+Afterwards a *fresh* broker recovers from the chaos run's state dir and
+the campaign asserts the two invariants the whole subsystem exists for:
+
+* **Bit-identity** — the recovered state's fingerprint (stream specs,
+  delay bounds, HP closures, feasibility report, fresh-id high-water
+  mark) equals the oracle's. Deterministic analysis means recovery is
+  not "approximately right", it is the same state.
+* **Zero acked-then-lost** — every operation the driver saw acknowledged
+  survives recovery, and nothing survives that was never acknowledged
+  (no phantom admissions from replayed retries).
+
+The chaos run is staged: persistence and engine faults fire against an
+in-process broker (restarts are then cheap and deterministic), protocol
+faults fire over a real unix socket served from a background thread.
+Both stages share one live-id list, one fault plane and one state dir,
+so the socket stage starts by recovering the in-process stage's state.
+
+Determinism: the schedule, the fault plane and the fault-placement
+draws use three independent ``random.Random`` streams derived from the
+campaign seed, so backoff jitter (wall-clock only) cannot shift which
+op gets which fault. Replaying a seed replays the campaign.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import random
+import socket as socket_module
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import ReproError
+from ..service.loadgen import BrokerClient, churn_spec
+from ..service.server import BrokerServer
+from .plane import (
+    PERSISTENCE_FAULTS,
+    PROTOCOL_FAULTS,
+    SITE_JOURNAL_APPEND,
+    FaultPlane,
+    FaultSpec,
+    InjectedCrash,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "ScheduledOp",
+    "build_request",
+    "generate_schedule",
+    "run_chaos_campaign",
+    "run_oracle",
+    "state_fingerprint",
+]
+
+#: Retry ceiling per op in the in-process stage. Each armed fault is
+#: one-shot, so two attempts normally converge; the slack covers a
+#: degraded round-trip (snapshot + retry) stacked on a crash.
+_MAX_ATTEMPTS = 32
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Everything a campaign needs, derivable from one seed."""
+
+    seed: int = 0
+    ops: int = 150
+    width: int = 6
+    height: int = 6
+    target_live: int = 12
+    priority_levels: int = 15
+    #: Probability an in-process op arms a random persistence fault.
+    persistence_rate: float = 0.30
+    #: Probability a socket op executes a random protocol fault.
+    protocol_rate: float = 0.45
+    #: Probability an in-process op is preceded by a cache storm.
+    engine_rate: float = 0.18
+    #: Probability a socket op is preceded by a server restart.
+    restart_rate: float = 0.06
+    #: Fraction of the schedule executed over the real socket (stage B).
+    socket_fraction: float = 0.4
+    #: Client retry backoff (kept tiny: the "server" is on localhost).
+    backoff_base: float = 0.005
+    backoff_cap: float = 0.1
+
+    def topology_spec(self) -> Dict[str, Any]:
+        return {"type": "mesh", "width": self.width, "height": self.height}
+
+    @property
+    def nodes(self) -> int:
+        return self.width * self.height
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One pre-drawn schedule slot.
+
+    All randomness is materialised at generation time (``bias`` picks
+    admit vs release, ``pick`` selects the released stream, ``spec`` is
+    the candidate stream), so the oracle and the chaos run derive the
+    *same* request from the same live-id list — no RNG is consumed
+    during execution, where retries would desynchronise it.
+    """
+
+    index: int
+    rid: str
+    bias: float
+    pick: float
+    spec: Dict[str, int]
+
+
+def generate_schedule(cfg: ChaosConfig) -> List[ScheduledOp]:
+    """Materialise the campaign's op schedule from ``cfg.seed``."""
+    rng = random.Random(cfg.seed)
+    return [
+        ScheduledOp(
+            index=i,
+            rid=f"c{cfg.seed}-{i}",
+            bias=rng.random(),
+            pick=rng.random(),
+            spec=churn_spec(rng, cfg.nodes,
+                            priority_levels=cfg.priority_levels),
+        )
+        for i in range(cfg.ops)
+    ]
+
+
+def build_request(
+    entry: ScheduledOp, live: List[int], *, target_live: int
+) -> Dict[str, Any]:
+    """The protocol request this slot performs given the live-id list.
+
+    Same churn policy as :func:`repro.service.loadgen.run_load`: below
+    ``target_live`` mostly admit, above it mostly release.
+    """
+    admit = (len(live) < target_live
+             if entry.bias < 0.8 else len(live) >= target_live)
+    if admit or not live:
+        return {"op": "admit", "rid": entry.rid, "streams": [entry.spec]}
+    sid = live[int(entry.pick * len(live)) % len(live)]
+    return {"op": "release", "rid": entry.rid, "ids": [sid]}
+
+
+def _apply_outcome(
+    request: Dict[str, Any],
+    response: Dict[str, Any],
+    live: List[int],
+    outcomes: List[Dict[str, Any]],
+) -> None:
+    """Fold one acknowledged op into the live list and the acked log."""
+    if request["op"] == "admit":
+        admitted = bool(response.get("admitted"))
+        ids = [int(i) for i in response.get("ids", [])] if admitted else []
+        live.extend(ids)
+        outcomes.append({"op": "admit", "admitted": admitted, "ids": ids})
+    else:
+        ids = [int(i) for i in request["ids"]]
+        for sid in ids:
+            live.remove(sid)
+        outcomes.append({"op": "release", "ids": ids})
+
+
+# ---------------------------------------------------------------------- #
+# Fingerprinting + oracle
+# ---------------------------------------------------------------------- #
+
+
+def state_fingerprint(server: BrokerServer) -> Tuple[str, Dict[str, Any]]:
+    """``(sha256, spec)`` of everything recovery promises to preserve.
+
+    Covers the admitted stream specs, each stream's delay bound /
+    feasibility / slack / HP closure, the full feasibility report and
+    the fresh-id high-water mark. Built through the public protocol ops
+    so it fingerprints what clients can observe.
+    """
+    report = server.handle_request({"op": "report"})
+    if not report.get("ok"):  # pragma: no cover - report cannot fail
+        raise ReproError(f"report failed while fingerprinting: {report}")
+    streams: Dict[str, Any] = {}
+    for sid in sorted(server.engine.admitted.ids()):
+        query = server.handle_request({"op": "query", "stream": sid})
+        if not query.get("ok"):  # pragma: no cover - defensive
+            raise ReproError(f"query {sid} failed: {query}")
+        streams[str(sid)] = {
+            "stream": query["stream"],
+            "upper_bound": query["upper_bound"],
+            "feasible": query["feasible"],
+            "slack": query["slack"],
+            "closure": query["closure"],
+        }
+    spec = {
+        "streams": streams,
+        "next_id": server.engine.next_id,
+        "report": report["report"],
+        "admitted": report["admitted"],
+    }
+    blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest(), spec
+
+
+def run_oracle(
+    cfg: ChaosConfig, schedule: List[ScheduledOp]
+) -> Tuple[str, List[Dict[str, Any]]]:
+    """Execute the schedule fault-free; return ``(sha, acked log)``."""
+    server = BrokerServer(cfg.topology_spec())
+    live: List[int] = []
+    outcomes: List[Dict[str, Any]] = []
+    for entry in schedule:
+        request = build_request(entry, live, target_live=cfg.target_live)
+        response = server.handle_request(request)
+        if not response.get("ok"):  # pragma: no cover - oracle is clean
+            raise ReproError(f"oracle op {entry.index} failed: {response}")
+        _apply_outcome(request, response, live, outcomes)
+    sha, _ = state_fingerprint(server)
+    return sha, outcomes
+
+
+# ---------------------------------------------------------------------- #
+# Stage A: in-process (persistence + engine faults, kills + restarts)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class _RunState:
+    """Mutable carry-over between the two chaos stages."""
+
+    live: List[int] = field(default_factory=list)
+    outcomes: List[Dict[str, Any]] = field(default_factory=list)
+    restarts: int = 0
+    degraded_recoveries: int = 0
+    duplicate_acks: int = 0
+
+
+def _stage_inproc(
+    cfg: ChaosConfig,
+    schedule: List[ScheduledOp],
+    state_dir: Path,
+    plane: FaultPlane,
+    driver_rng: random.Random,
+    run: _RunState,
+) -> None:
+    """Run ``schedule`` against an in-process persistent broker.
+
+    Persistence faults are armed at the journal-append site before the
+    op; :class:`InjectedCrash` is the simulated kill — the server object
+    is dropped and a new one recovers from the state dir, then the op is
+    retried under the same rid. Degraded responses are cleared with a
+    ``snapshot`` op, exactly as a supervising client would.
+    """
+    server = BrokerServer(
+        cfg.topology_spec(), state_dir=state_dir, fault_plane=plane
+    )
+    try:
+        for entry in schedule:
+            if driver_rng.random() < cfg.engine_rate:
+                server.engine.invalidate_caches()
+                plane.record("cache_storm")
+            if driver_rng.random() < cfg.persistence_rate:
+                kind = PERSISTENCE_FAULTS[
+                    driver_rng.randrange(len(PERSISTENCE_FAULTS))
+                ]
+                plane.arm(SITE_JOURNAL_APPEND, FaultSpec(kind))
+            request = build_request(
+                entry, run.live, target_live=cfg.target_live
+            )
+            for _ in range(_MAX_ATTEMPTS):
+                try:
+                    response = server.handle_request(request)
+                except InjectedCrash:
+                    run.restarts += 1
+                    server.state.close()
+                    server = BrokerServer(
+                        cfg.topology_spec(),
+                        state_dir=state_dir,
+                        fault_plane=plane,
+                    )
+                    continue
+                if response.get("ok"):
+                    break
+                if response.get("code") == "degraded":
+                    run.degraded_recoveries += 1
+                    snap = server.handle_request({"op": "snapshot"})
+                    if not snap.get("ok"):  # pragma: no cover - one-shot
+                        raise ReproError(
+                            f"snapshot failed to clear degraded: {snap}"
+                        )
+                    continue
+                raise ReproError(
+                    f"chaos op {entry.index} failed hard: {response}"
+                )
+            else:  # pragma: no cover - defensive
+                raise ReproError(
+                    f"chaos op {entry.index} did not converge in "
+                    f"{_MAX_ATTEMPTS} attempts"
+                )
+            # A rejected admit never reached the journal; drop the
+            # armed-but-unfired fault so accounting only counts faults
+            # that actually executed.
+            plane.disarm(SITE_JOURNAL_APPEND)
+            if response.get("duplicate"):
+                run.duplicate_acks += 1
+            _apply_outcome(request, response, run.live, run.outcomes)
+    finally:
+        if server.state is not None:
+            server.state.close()
+
+
+# ---------------------------------------------------------------------- #
+# Stage B: real socket (protocol faults, server restarts)
+# ---------------------------------------------------------------------- #
+
+
+class _ServerThread:
+    """A persistent broker serving a unix socket from a daemon thread."""
+
+    def __init__(
+        self,
+        topology_spec: Dict[str, Any],
+        socket_path: Union[str, Path],
+        state_dir: Path,
+    ):
+        self._topology_spec = topology_spec
+        self._socket_path = Path(socket_path)
+        self._state_dir = state_dir
+        self._ready = threading.Event()
+        self._exc: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.server: Optional[BrokerServer] = None
+        self._thread = threading.Thread(
+            target=self._run, name="chaos-broker", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - surfaced in stop
+            self._exc = exc
+        finally:
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.server = BrokerServer(
+            self._topology_spec, state_dir=self._state_dir
+        )
+        await self.server.start_unix(self._socket_path)
+        self._ready.set()
+        await self.server.serve_forever()
+
+    def start(self) -> "_ServerThread":
+        self._socket_path.unlink(missing_ok=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):  # pragma: no cover
+            raise ReproError("chaos broker thread did not come up")
+        if self._exc is not None:
+            raise ReproError(f"chaos broker thread died: {self._exc!r}")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_shutdown)
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+        self._thread.join(timeout=30)
+        if self._thread.is_alive():  # pragma: no cover - defensive
+            raise ReproError("chaos broker thread did not stop")
+        if self._exc is not None:  # pragma: no cover - defensive
+            raise ReproError(f"chaos broker thread died: {self._exc!r}")
+
+
+def _half_open_probe(socket_path: Path) -> None:
+    """Pipeline two requests, half-close the write side, demand both
+    responses (then EOF) — the server must flush before closing."""
+    conn = socket_module.socket(
+        socket_module.AF_UNIX, socket_module.SOCK_STREAM
+    )
+    try:
+        conn.settimeout(10)
+        conn.connect(str(socket_path))
+        fh = conn.makefile("rwb")
+        fh.write(b'{"op":"ping","id":1}\n{"op":"report","id":2}\n')
+        fh.flush()
+        conn.shutdown(socket_module.SHUT_WR)
+        for want in (1, 2):
+            line = fh.readline()
+            if not line:
+                raise ReproError(
+                    "half-open pipeline lost a queued response"
+                )
+            response = json.loads(line.decode("utf-8"))
+            if not response.get("ok") or response.get("id") != want:
+                raise ReproError(
+                    f"half-open response mismatch: {response}"
+                )
+        if fh.readline():  # pragma: no cover - defensive
+            raise ReproError("half-open connection served extra data")
+    finally:
+        conn.close()
+
+
+def _slow_request(
+    client: BrokerClient, request: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Dribble one request over three writes; read the one response."""
+    client._seq += 1
+    payload = (
+        json.dumps({**request, "id": client._seq}, separators=(",", ":"))
+        + "\n"
+    ).encode("utf-8")
+    third = max(1, len(payload) // 3)
+    for piece in (payload[:third], payload[third:2 * third],
+                  payload[2 * third:]):
+        if piece:
+            client._fh.write(piece)
+            client._fh.flush()
+            time.sleep(0.002)
+    line = client._fh.readline()
+    if not line:
+        raise ReproError("connection closed during a slow write")
+    response = json.loads(line.decode("utf-8"))
+    if not response.get("ok"):
+        raise ReproError(f"slow-client op failed: {response}")
+    return response
+
+
+def _socket_op(
+    client: BrokerClient,
+    request: Dict[str, Any],
+    fault: Optional[str],
+    plane: FaultPlane,
+    socket_path: Path,
+    cfg: ChaosConfig,
+    backoff_rng: random.Random,
+) -> Dict[str, Any]:
+    """Execute one schedule op over the socket, under one protocol fault."""
+    op = request["op"]
+    rid = request["rid"]
+    fields = {k: v for k, v in request.items() if k not in ("op", "rid")}
+    if fault == "slow_client":
+        plane.record(fault)
+        return _slow_request(client, request)
+    if fault == "drop_before_send":
+        plane.record(fault)
+        client.close()
+    elif fault == "drop_after_send":
+        plane.record(fault)
+        payload = (
+            json.dumps({"op": op, "rid": rid, **fields},
+                       separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        try:
+            client._fh.write(payload)
+            client._fh.flush()
+        except (OSError, ValueError):  # pragma: no cover - race with peer
+            pass
+        client.close()
+    elif fault == "garbage_bytes":
+        plane.record(fault)
+        client._fh.write(b"\xff\x00 this is not json {]\n")
+        client._fh.flush()
+        line = client._fh.readline()
+        error = json.loads(line.decode("utf-8"))
+        if error.get("ok"):  # pragma: no cover - defensive
+            raise ReproError("garbage line was accepted by the broker")
+    elif fault == "half_open":
+        plane.record(fault)
+        _half_open_probe(socket_path)
+    response = client.request_with_retry(
+        op,
+        rid=rid,
+        backoff_base=cfg.backoff_base,
+        backoff_cap=cfg.backoff_cap,
+        rng=backoff_rng,
+        **fields,
+    )
+    if not response.get("ok"):
+        raise ReproError(
+            f"socket op {op!r} (rid {rid!r}) failed: {response}"
+        )
+    return response
+
+
+def _stage_socket(
+    cfg: ChaosConfig,
+    schedule: List[ScheduledOp],
+    state_dir: Path,
+    socket_path: Path,
+    plane: FaultPlane,
+    driver_rng: random.Random,
+    backoff_rng: random.Random,
+    run: _RunState,
+) -> None:
+    """Run ``schedule`` over a real unix socket with protocol faults."""
+    if not schedule:
+        return
+    thread = _ServerThread(
+        cfg.topology_spec(), socket_path, state_dir
+    ).start()
+    client = BrokerClient.wait_for_unix(socket_path, timeout=10)
+    try:
+        for entry in schedule:
+            if driver_rng.random() < cfg.restart_rate:
+                run.restarts += 1
+                client.close()
+                thread.stop()
+                thread = _ServerThread(
+                    cfg.topology_spec(), socket_path, state_dir
+                ).start()
+                client = BrokerClient.wait_for_unix(socket_path, timeout=10)
+            fault = None
+            if driver_rng.random() < cfg.protocol_rate:
+                fault = PROTOCOL_FAULTS[
+                    driver_rng.randrange(len(PROTOCOL_FAULTS))
+                ]
+            request = build_request(
+                entry, run.live, target_live=cfg.target_live
+            )
+            response = _socket_op(
+                client, request, fault, plane, socket_path, cfg,
+                backoff_rng,
+            )
+            if response.get("duplicate"):
+                run.duplicate_acks += 1
+            _apply_outcome(request, response, run.live, run.outcomes)
+    finally:
+        client.close()
+        thread.stop()
+
+
+# ---------------------------------------------------------------------- #
+# Campaign
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one campaign (``repro chaos`` prints it as JSON)."""
+
+    seed: int
+    ops: int
+    committed: int
+    faults_total: int
+    faults_by_layer: Dict[str, Dict[str, int]]
+    layers_covered: int
+    restarts: int
+    degraded_recoveries: int
+    duplicate_acks: int
+    outcome_mismatches: int
+    oracle_sha: str
+    recovered_sha: str
+    bit_identical: bool
+    acked_then_lost: List[int]
+    phantom_ids: List[int]
+    live_at_end: int
+    seconds: float
+
+    @property
+    def ok(self) -> bool:
+        """Did the chaos run preserve every invariant it must?"""
+        return (
+            self.bit_identical
+            and not self.acked_then_lost
+            and not self.phantom_ids
+            and self.outcome_mismatches == 0
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "ops": self.ops,
+            "committed": self.committed,
+            "faults": {
+                "total": self.faults_total,
+                "layers_covered": self.layers_covered,
+                "by_layer": self.faults_by_layer,
+            },
+            "restarts": self.restarts,
+            "degraded_recoveries": self.degraded_recoveries,
+            "duplicate_acks": self.duplicate_acks,
+            "outcome_mismatches": self.outcome_mismatches,
+            "oracle_sha": self.oracle_sha,
+            "recovered_sha": self.recovered_sha,
+            "bit_identical": self.bit_identical,
+            "acked_then_lost": self.acked_then_lost,
+            "phantom_ids": self.phantom_ids,
+            "live_at_end": self.live_at_end,
+            "seconds": round(self.seconds, 3),
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "FAILED"
+        return (
+            f"chaos seed={self.seed}: {self.ops} ops, "
+            f"{self.faults_total} faults over {self.layers_covered} "
+            f"layers, {self.restarts} restarts, "
+            f"{self.degraded_recoveries} degraded recoveries, "
+            f"{self.duplicate_acks} duplicate acks -> "
+            f"recovery {'bit-identical' if self.bit_identical else 'DIVERGED'}, "
+            f"{len(self.acked_then_lost)} acked-then-lost "
+            f"[{verdict}] ({self.seconds:.1f}s)"
+        )
+
+
+def run_chaos_campaign(
+    cfg: ChaosConfig,
+    state_dir: Optional[Union[str, Path]] = None,
+) -> ChaosReport:
+    """Run one full campaign; everything derives from ``cfg.seed``."""
+    t0 = time.perf_counter()
+    schedule = generate_schedule(cfg)
+    oracle_sha, oracle_outcomes = run_oracle(cfg, schedule)
+
+    plane = FaultPlane(cfg.seed + 1)
+    # Fault placement is drawn from its own stream so that nothing the
+    # faults themselves consume (torn-write cut points come from
+    # ``plane.rng``) can shift which op gets which fault.
+    driver_rng = random.Random(cfg.seed + 2)
+    backoff_rng = random.Random(cfg.seed + 3)  # wall-clock jitter only
+    run = _RunState()
+    split = cfg.ops - int(cfg.ops * cfg.socket_fraction)
+
+    tmp: Optional[tempfile.TemporaryDirectory] = None
+    if state_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        state_dir = tmp.name
+    state_path = Path(state_dir)
+    try:
+        _stage_inproc(
+            cfg, schedule[:split], state_path, plane, driver_rng, run
+        )
+        _stage_socket(
+            cfg, schedule[split:], state_path, state_path / "broker.sock",
+            plane, driver_rng, backoff_rng, run,
+        )
+
+        # The verdicts: a fresh, fault-free broker recovers from the
+        # chaos run's disk and must land on the oracle's exact state.
+        final = BrokerServer(cfg.topology_spec(), state_dir=state_path)
+        try:
+            recovered_sha, recovered_spec = state_fingerprint(final)
+        finally:
+            final.state.close()
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    expected_live: set = set()
+    for outcome in run.outcomes:
+        if outcome["op"] == "admit" and outcome["admitted"]:
+            expected_live.update(outcome["ids"])
+        elif outcome["op"] == "release":
+            expected_live.difference_update(outcome["ids"])
+    recovered_ids = {int(sid) for sid in recovered_spec["streams"]}
+    mismatches = sum(
+        1 for got, want in zip(run.outcomes, oracle_outcomes)
+        if got != want
+    ) + abs(len(run.outcomes) - len(oracle_outcomes))
+
+    return ChaosReport(
+        seed=cfg.seed,
+        ops=cfg.ops,
+        committed=len(run.outcomes),
+        faults_total=plane.total_fired(),
+        faults_by_layer=plane.counts_by_layer(),
+        layers_covered=plane.layers_covered(),
+        restarts=run.restarts,
+        degraded_recoveries=run.degraded_recoveries,
+        duplicate_acks=run.duplicate_acks,
+        outcome_mismatches=mismatches,
+        oracle_sha=oracle_sha,
+        recovered_sha=recovered_sha,
+        bit_identical=recovered_sha == oracle_sha,
+        acked_then_lost=sorted(expected_live - recovered_ids),
+        phantom_ids=sorted(recovered_ids - expected_live),
+        live_at_end=len(run.live),
+        seconds=time.perf_counter() - t0,
+    )

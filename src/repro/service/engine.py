@@ -84,6 +84,7 @@ class EngineStats:
     verdicts_reused: int = 0
     hp_rebuilt: int = 0
     full_fallbacks: int = 0
+    forced_invalidations: int = 0
     route_cache_hits: int = 0
     route_cache_misses: int = 0
     #: Dirty-frontier sizes of incremental ops (last / running max / sum).
@@ -107,7 +108,8 @@ class EngineStats:
         out = {k: getattr(self, k) for k in (
             "ops", "admits", "rejects", "releases",
             "verdicts_recomputed", "verdicts_reused", "hp_rebuilt",
-            "full_fallbacks", "route_cache_hits", "route_cache_misses",
+            "full_fallbacks", "forced_invalidations",
+            "route_cache_hits", "route_cache_misses",
             "dirty_last", "dirty_max", "dirty_total",
         )}
         out["cache_hit_rate"] = round(self.cache_hit_rate(), 4)
@@ -198,6 +200,33 @@ class IncrementalAdmissionEngine:
     def advance_next_id(self, value: int) -> None:
         """Raise the fresh-id high-water mark (never lowers it)."""
         self._next_id = max(self._next_id, int(value))
+
+    def reset_next_id(self, value: int) -> None:
+        """Roll the fresh-id mark back to ``value``.
+
+        Only safe when every id at or above ``value`` was allocated for
+        an operation that is being undone and was **never committed or
+        acknowledged** (rolled-back journal failures, lost-ack retries of
+        rejected batches): reusing an id a client could have observed as
+        admitted would break the no-reuse guarantee. The mark never drops
+        below ``max(admitted) + 1``.
+        """
+        floor = max(
+            (sid + 1 for sid in self._admitted.ids()), default=0
+        )
+        self._next_id = max(int(value), floor)
+
+    def invalidate_caches(self) -> None:
+        """Drop every derived cache and rebuild from the admitted set.
+
+        The chaos campaign's engine-layer fault (``cache_storm``): after
+        an invalidation storm all verdicts, HP sets, routes and indexes
+        are recomputed from scratch, and must come back bit-identical —
+        the caches are an optimisation, never a source of truth.
+        """
+        self.stats.forced_invalidations += 1
+        self._route_cache.clear()
+        self._full_rebuild()
 
     def closure(self, stream_id: int) -> Tuple[int, ...]:
         """Return the transitive HP closure the stream's guarantee is

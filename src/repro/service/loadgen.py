@@ -20,12 +20,20 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..errors import ReproError
+from .protocol import retry_backoff
 
 __all__ = ["BrokerClient", "LoadSummary", "churn_spec", "run_load"]
 
 
 class BrokerClient:
-    """Blocking JSON-lines client for one broker connection."""
+    """Blocking JSON-lines client for one broker connection.
+
+    Remembers its connect parameters, so a dropped connection can be
+    re-established with :meth:`reconnect` — the building block of
+    :meth:`request_with_retry`, the at-least-once retry loop that pairs
+    with the server's ``rid`` idempotency (see
+    :mod:`repro.service.protocol`).
+    """
 
     def __init__(
         self,
@@ -37,17 +45,41 @@ class BrokerClient:
     ):
         if (socket_path is None) == (host is None):
             raise ReproError("pass exactly one of socket_path or host/port")
-        if socket_path is not None:
+        self._socket_path = socket_path
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._seq = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        if self._socket_path is not None:
             self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(str(socket_path))
+            self._sock.settimeout(self._timeout)
+            self._sock.connect(str(self._socket_path))
         else:
-            assert port is not None
+            assert self._port is not None
             self._sock = socket.create_connection(
-                (host, port), timeout=timeout
+                (self._host, self._port), timeout=self._timeout
             )
         self._fh = self._sock.makefile("rwb")
-        self._seq = 0
+
+    def reconnect(self, *, timeout: float = 10.0) -> None:
+        """Tear the connection down and dial again, retrying until the
+        server accepts (it may be mid-restart) or ``timeout`` expires."""
+        self.close()
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self._connect()
+                return
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise ReproError(
+                        f"broker did not accept a reconnect within "
+                        f"{timeout:.0f}s"
+                    ) from None
+                time.sleep(0.05)
 
     @classmethod
     def wait_for_unix(
@@ -98,11 +130,61 @@ class BrokerClient:
             )
         return response
 
+    def request_with_retry(
+        self,
+        op: str,
+        *,
+        rid: str,
+        max_attempts: int = 6,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        rng: Optional[random.Random] = None,
+        reconnect_timeout: float = 10.0,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """Send an idempotent mutation, retrying across dropped
+        connections with full-jitter exponential backoff.
+
+        Every attempt carries the same ``rid``, so the server applies the
+        mutation at most once no matter how many times the wire eats the
+        acknowledgement; the response may carry ``"duplicate": true``
+        when an earlier attempt already committed. Transport failures
+        (connection reset, EOF, refused reconnect) are retried; an
+        application-level error response is returned to the caller as-is.
+        """
+        last_exc: Optional[Exception] = None
+        for attempt in range(max_attempts):
+            if attempt:
+                time.sleep(retry_backoff(
+                    attempt - 1, base=backoff_base, cap=backoff_cap,
+                    rng=rng,
+                ))
+                try:
+                    self.reconnect(timeout=reconnect_timeout)
+                except ReproError as exc:
+                    last_exc = exc
+                    continue
+            try:
+                return self.request(op, rid=rid, **fields)
+            except (ReproError, OSError, ValueError) as exc:
+                # ValueError covers writes on a file object whose
+                # connection was already torn down (and JSONDecodeError).
+                last_exc = exc
+        raise ReproError(
+            f"broker op {op!r} (rid {rid!r}) failed after "
+            f"{max_attempts} attempts: {last_exc}"
+        )
+
     def close(self) -> None:
         try:
             self._fh.close()
+        except OSError:
+            pass
         finally:
-            self._sock.close()
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
 
     def __enter__(self) -> "BrokerClient":
         return self

@@ -136,6 +136,12 @@ class ServiceMetrics:
         self.op_latency: Dict[str, LatencyHistogram] = {}
         self.admitted_ok = 0
         self.admitted_rejected = 0
+        #: Journal append failures survived (rollback + degraded entry).
+        self.journal_errors = 0
+        #: Times the broker entered read-only degraded mode.
+        self.degraded_entered = 0
+        #: Mutations answered from the idempotency table (rid replays).
+        self.duplicates = 0
         self.batches = 0
         self.batched_requests = 0
         self.max_batch = 0
@@ -182,6 +188,11 @@ class ServiceMetrics:
             "admit": {
                 "accepted": self.admitted_ok,
                 "rejected": self.admitted_rejected,
+            },
+            "faults": {
+                "journal_errors": self.journal_errors,
+                "degraded_entered": self.degraded_entered,
+                "duplicates": self.duplicates,
             },
             "batching": {
                 "batches": self.batches,
@@ -230,6 +241,18 @@ class ServiceMetrics:
                 "Admission requests, by outcome.",
                 outcome=outcome,
             ).value = float(n)
+        reg.counter(
+            "repro_broker_journal_errors_total",
+            "Journal append failures survived via rollback.",
+        ).value = float(self.journal_errors)
+        reg.counter(
+            "repro_broker_degraded_entered_total",
+            "Times the broker entered read-only degraded mode.",
+        ).value = float(self.degraded_entered)
+        reg.counter(
+            "repro_broker_duplicate_requests_total",
+            "Mutations answered from the idempotency (rid) table.",
+        ).value = float(self.duplicates)
         reg.counter(
             "repro_broker_batches_total", "Worker queue drains."
         ).value = float(self.batches)

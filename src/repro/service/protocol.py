@@ -5,6 +5,32 @@ request carries an ``op`` and may carry a client-chosen ``id`` echoed back
 verbatim in the response (useful for pipelining). Responses always carry
 ``ok`` (bool); failures add ``error`` (message) and ``code``.
 
+Idempotent retries (``rid``)
+----------------------------
+Mutating ops (``admit``/``release``) may carry a ``rid``: a non-empty
+client-chosen string identifying the *request* (not the connection).
+When a mutation succeeds, its ``rid`` is recorded — in memory, in the
+journal entry, and through snapshot compaction — and a later request
+with the same ``rid`` is **not re-executed**: the server answers with
+the recorded outcome plus ``"duplicate": true`` (for ``admit`` that is
+``admitted``/``ids`` without the per-stream ``bounds``/``closures``
+detail; for ``release`` the ``released`` ids). This makes at-least-once
+retry loops safe: a client whose connection died after sending a request
+simply reconnects and resends the same ``rid``; whether or not the
+original was applied, the end state is applied-exactly-once. Failed
+mutations record nothing — retrying them re-evaluates deterministically.
+The server keeps the most recent ``RID_CAP`` rids (FIFO), so retries
+must happen promptly, not hours later.
+
+Degraded (read-only) mode
+-------------------------
+When the journal becomes unwritable (disk full, I/O error) the broker
+repairs the journal, rolls the in-memory engine back so memory matches
+disk, and stops accepting mutations: ``admit``/``release`` fail with
+``code: "degraded"`` while reads (``query``/``report``/``stats``/
+``hello``) keep working. A successful ``snapshot`` op (which rewrites
+the snapshot and truncates the journal) clears the condition.
+
 Ops
 ---
 ``hello``
@@ -39,16 +65,19 @@ Ops
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+import random
+from typing import Any, Dict, Optional
 
 from ..errors import ReproError
 
 __all__ = [
     "ProtocolError",
     "coerce_int",
+    "coerce_rid",
     "encode",
     "decode",
     "error_response",
+    "retry_backoff",
 ]
 
 #: Ops the server accepts (``hello``/``ping`` are aliases).
@@ -112,6 +141,43 @@ def coerce_int(value: Any, what: str) -> int:
     if isinstance(value, float) and value != out:
         raise ProtocolError(f"{what} must be an integer, got {value!r}")
     return out
+
+
+def coerce_rid(request: Dict[str, Any]) -> Optional[str]:
+    """Validate and return the request's idempotency key, if any.
+
+    ``rid`` is optional; when present it must be a non-empty string
+    (:class:`ProtocolError` otherwise, so a malformed key can never be
+    silently treated as "no key" and break retry deduplication).
+    """
+    rid = request.get("rid")
+    if rid is None:
+        return None
+    if not isinstance(rid, str) or not rid:
+        raise ProtocolError(
+            f"'rid' must be a non-empty string, got {rid!r}"
+        )
+    return rid
+
+
+def retry_backoff(
+    attempt: int,
+    *,
+    base: float = 0.05,
+    cap: float = 2.0,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Full-jitter exponential backoff delay for a 0-based ``attempt``.
+
+    Returns a uniform draw from ``[0, min(cap, base * 2**attempt))`` —
+    the "full jitter" scheme, which decorrelates a thundering herd of
+    retrying clients while keeping the expected delay exponential in the
+    attempt number. Pass a seeded ``rng`` for reproducible schedules
+    (the chaos campaign does).
+    """
+    span = min(cap, base * (2 ** max(0, attempt)))
+    u = rng.random() if rng is not None else random.random()
+    return span * u
 
 
 def error_response(

@@ -25,16 +25,35 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from .. import __version__
 from ..core.streams import MessageStream
 from ..errors import AnalysisError, ReproError, StreamError
+from ..faults.plane import FaultPlane
 from ..io import stream_from_spec, stream_to_spec, report_to_spec, topology_from_spec
 from ..obs.trace import span as _span
 from .engine import IncrementalAdmissionEngine
 from .metrics import ServiceMetrics
-from .persistence import BrokerState
-from .protocol import ProtocolError, coerce_int, decode, encode, error_response
+from .persistence import RID_CAP, BrokerState
+from .protocol import (
+    ProtocolError,
+    coerce_int,
+    coerce_rid,
+    decode,
+    encode,
+    error_response,
+)
 
-__all__ = ["BrokerServer"]
+__all__ = ["BrokerServer", "DegradedError"]
 
 logger = logging.getLogger(__name__)
+
+
+class DegradedError(ReproError):
+    """Raised for mutations while the broker is read-only (``degraded``).
+
+    Entered when the journal becomes unwritable: the failed mutation is
+    rolled back (memory must keep matching disk), and further mutations
+    are refused until a successful ``snapshot`` op re-establishes durable
+    storage. Reads and idempotent replays of already-committed mutations
+    keep working throughout.
+    """
 
 #: Queue sentinel (in the ``prebuilt`` slot): the connection reached EOF;
 #: the worker closes its writer once every earlier response is flushed.
@@ -42,6 +61,8 @@ _EOF = object()
 
 
 def _error_code(exc: ReproError) -> str:
+    if isinstance(exc, DegradedError):
+        return "degraded"
     if isinstance(exc, ProtocolError):
         return "protocol"
     if isinstance(exc, StreamError):
@@ -64,6 +85,9 @@ class BrokerServer:
         Engine mode override; ``None`` reads ``REPRO_INCREMENTAL``.
     batch_max:
         Maximum requests the worker drains per wakeup.
+    fault_plane:
+        Chaos-testing hook (see :mod:`repro.faults.plane`); installed
+        into the persistence layer. ``None`` in production use.
     """
 
     def __init__(
@@ -75,6 +99,7 @@ class BrokerServer:
         residency_margin: int = 0,
         incremental: Optional[bool] = None,
         batch_max: int = 64,
+        fault_plane: Optional[FaultPlane] = None,
     ):
         self.topology_spec = dict(topology_spec)
         self.topology, self.routing = topology_from_spec(self.topology_spec)
@@ -86,9 +111,16 @@ class BrokerServer:
         )
         self.metrics = ServiceMetrics()
         self.batch_max = max(1, int(batch_max))
+        #: Read-only degraded mode (journal unwritable); see DegradedError.
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        #: rid -> recorded outcome of the committed mutation (FIFO-capped).
+        self._applied: Dict[str, Dict[str, Any]] = {}
         self.state: Optional[BrokerState] = None
         if state_dir is not None:
-            self.state = BrokerState(state_dir, self.topology_spec)
+            self.state = BrokerState(
+                state_dir, self.topology_spec, fault_plane=fault_plane
+            )
             self._recover()
         self._queue: Optional[asyncio.Queue] = None
         self._server: Optional[asyncio.base_events.Server] = None
@@ -102,23 +134,34 @@ class BrokerServer:
 
     def _recover(self) -> None:
         assert self.state is not None
-        snapshot, ops, next_id = self.state.recover()
-        if next_id is not None:
+        rec = self.state.recover()
+        if rec.next_id is not None:
             # Restore the fresh-id high-water mark so ids released before
             # the snapshot are never reissued across restarts.
-            self.engine.advance_next_id(next_id)
-        if snapshot:
-            self._admit_entries(snapshot, replay=True)
-        for op in ops:
+            self.engine.advance_next_id(rec.next_id)
+        # The idempotency table survives restarts: snapshot-persisted rids
+        # first, then the rids of replayed journal entries, so a client
+        # retrying an op whose ack died with the old process still gets
+        # the committed outcome instead of a double-apply.
+        self._applied.update(rec.applied_rids)
+        if rec.snapshot:
+            self._admit_entries(rec.snapshot, replay=True)
+        for op in rec.ops:
+            rid = op.get("rid")
             if op.get("op") == "admit":
-                self._admit_entries(op["streams"], replay=True)
+                ids, _ = self._admit_entries(op["streams"], replay=True)
+                self._record_applied(rid, {"admitted": True, "ids": ids})
             elif op.get("op") == "release":
-                self.engine.release([int(i) for i in op["ids"]])
+                ids = [int(i) for i in op["ids"]]
+                self.engine.release(ids)
+                self._record_applied(rid, {"released": ids})
             else:  # pragma: no cover - defensive
                 raise ReproError(f"unknown journal op {op.get('op')!r}")
-        if snapshot or ops:
+        if rec.snapshot or rec.ops or rec.torn_tail:
             self.state.compact(
-                self.engine.admitted, next_id=self.engine.next_id
+                self.engine.admitted,
+                next_id=self.engine.next_id,
+                applied_rids=self._applied,
             )
 
     def _admit_entries(
@@ -215,10 +258,29 @@ class BrokerServer:
                 raise ProtocolError(
                     "server runs without persistence (no --state-dir)"
                 )
-            path = self.state.compact(
-                self.engine.admitted, next_id=self.engine.next_id
-            )
-            return {"path": str(path), "streams": len(self.engine.admitted)}
+            # Allowed (and essential) in degraded mode: a successful
+            # compaction rewrites the snapshot and truncates the journal,
+            # re-establishing durable storage.
+            try:
+                path = self.state.compact(
+                    self.engine.admitted,
+                    next_id=self.engine.next_id,
+                    applied_rids=self._applied,
+                )
+            except OSError as exc:
+                self.metrics.journal_errors += 1
+                self._enter_degraded(f"snapshot compaction failed: {exc}")
+                raise DegradedError(
+                    f"snapshot failed ({exc}); broker stays read-only"
+                ) from None
+            cleared = self.degraded
+            self._clear_degraded()
+            response = {
+                "path": str(path), "streams": len(self.engine.admitted),
+            }
+            if cleared:
+                response["degraded_cleared"] = True
+            return response
         if op == "stats":
             if request.get("format") == "prometheus":
                 return {"prometheus": self.prometheus_text()}
@@ -226,6 +288,7 @@ class BrokerServer:
                 "service": self.metrics.to_dict(),
                 "engine": self.engine.stats.to_dict(),
                 "admitted": len(self.engine.admitted),
+                "degraded": self.degraded,
             }
         if op == "shutdown":
             if self._stopping is not None:
@@ -233,10 +296,88 @@ class BrokerServer:
             return {"stopping": True}
         raise ProtocolError(f"unknown op {op!r}")  # pragma: no cover
 
+    # ------------------------------------------------------------------ #
+    # Idempotency + degraded-mode plumbing
+    # ------------------------------------------------------------------ #
+
+    def _record_applied(
+        self, rid: Optional[str], outcome: Dict[str, Any]
+    ) -> None:
+        """Remember a committed mutation's outcome under its rid."""
+        if rid is None:
+            return
+        self._applied[str(rid)] = outcome
+        while len(self._applied) > RID_CAP:
+            del self._applied[next(iter(self._applied))]
+
+    def _duplicate_response(
+        self, rid: Optional[str]
+    ) -> Optional[Dict[str, Any]]:
+        """The recorded outcome for an already-applied rid, or ``None``.
+
+        Checked *before* the degraded gate: replaying a committed
+        mutation writes nothing, so it stays safe while read-only — and
+        that is exactly when crash-induced retries arrive.
+        """
+        if rid is None or rid not in self._applied:
+            return None
+        self.metrics.duplicates += 1
+        response = dict(self._applied[rid])
+        response["duplicate"] = True
+        return response
+
+    def _mutation_gate(self) -> None:
+        if self.degraded:
+            raise DegradedError(
+                f"broker is read-only ({self.degraded_reason}); "
+                "retry after a successful 'snapshot' op"
+            )
+
+    def _journal_commit(self, entry: Dict[str, Any], rollback) -> None:
+        """Append a committed mutation; on failure undo it and degrade.
+
+        ``BrokerState.append`` has already repaired the journal (the
+        record is guaranteed absent from disk), so after ``rollback()``
+        memory and disk agree that the op never happened — the client
+        gets a ``degraded`` error, never a silent divergence.
+        """
+        assert self.state is not None
+        try:
+            self.state.append(entry)
+        except OSError as exc:
+            self.metrics.journal_errors += 1
+            rollback()
+            self._enter_degraded(f"journal append failed: {exc}")
+            raise DegradedError(
+                f"journal unwritable ({exc}); mutation rolled back, "
+                "broker is read-only until a successful snapshot"
+            ) from None
+
+    def _enter_degraded(self, reason: str) -> None:
+        if not self.degraded:
+            self.metrics.degraded_entered += 1
+            logger.error("entering read-only degraded mode: %s", reason)
+        self.degraded = True
+        self.degraded_reason = reason
+
+    def _clear_degraded(self) -> None:
+        if self.degraded:
+            logger.warning(
+                "leaving degraded mode after successful snapshot"
+            )
+        self.degraded = False
+        self.degraded_reason = None
+
     def _op_admit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        rid = coerce_rid(request)
+        duplicate = self._duplicate_response(rid)
+        if duplicate is not None:
+            return duplicate
+        self._mutation_gate()
         entries = request.get("streams")
         if not isinstance(entries, list) or not entries:
             raise ProtocolError("'admit' needs a non-empty 'streams' list")
+        next_id_before = self.engine.next_id
         ids, decision = self._admit_entries(entries)
         response: Dict[str, Any] = {
             "admitted": decision.admitted,
@@ -253,26 +394,72 @@ class BrokerServer:
             }
             self.metrics.admitted_ok += 1
             if self.state is not None:
-                self.state.append({
+                entry: Dict[str, Any] = {
                     "op": "admit",
                     "streams": [
                         stream_to_spec(self.engine.admitted[sid])
                         for sid in ids
                     ],
-                })
+                }
+                if rid is not None:
+                    entry["rid"] = rid
+                self._journal_commit(
+                    entry,
+                    lambda: self._rollback_admit(ids, next_id_before),
+                )
+            self._record_applied(rid, {"admitted": True, "ids": ids})
         else:
             self.metrics.admitted_rejected += 1
+            # The trial ids of a rejected batch were never admitted, so
+            # releasing them back keeps a retry of the same (lost-ack)
+            # request id-stable with its first evaluation.
+            self.engine.reset_next_id(next_id_before)
         return response
 
+    def _rollback_admit(self, ids: List[int], next_id_before: int) -> None:
+        self.engine.release(ids)
+        # The ids were assigned but never committed or acknowledged;
+        # reclaiming them keeps the id sequence identical to a run in
+        # which the failed admit never happened.
+        self.engine.reset_next_id(next_id_before)
+
     def _op_release(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        rid = coerce_rid(request)
+        duplicate = self._duplicate_response(rid)
+        if duplicate is not None:
+            return duplicate
+        self._mutation_gate()
         ids = request.get("ids")
         if not isinstance(ids, list) or not ids:
             raise ProtocolError("'release' needs a non-empty 'ids' list")
         ids = [coerce_int(i, "'release' id") for i in ids]
+        # Captured before the release so a journal failure can restore
+        # them; unknown ids make engine.release raise before mutating.
+        removed = [
+            self.engine.admitted[sid] for sid in ids
+            if sid in self.engine.admitted
+        ]
         self.engine.release(ids)
         if self.state is not None:
-            self.state.append({"op": "release", "ids": ids})
+            entry = {"op": "release", "ids": ids}
+            if rid is not None:
+                entry["rid"] = rid
+            self._journal_commit(
+                entry, lambda: self._rollback_release(removed)
+            )
+        self._record_applied(rid, {"released": ids})
         return {"released": ids}
+
+    def _rollback_release(self, removed: List[MessageStream]) -> None:
+        decision = self.engine.try_admit(removed)
+        if not decision.admitted:  # pragma: no cover - defensive
+            # Re-admitting streams that were feasible a moment ago cannot
+            # fail; if it somehow does, crash loudly rather than serve a
+            # state that disagrees with the journal.
+            raise ReproError(
+                "rollback re-admission rejected; broker state is "
+                "inconsistent with the journal"
+            )
 
     def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
         sid = request.get("stream")
@@ -302,6 +489,10 @@ class BrokerServer:
         reg = self.metrics.sync_registry()
         es = self.engine.stats
         reg.gauge(
+            "repro_broker_degraded",
+            "1 while the broker is in read-only degraded mode.",
+        ).set(1.0 if self.degraded else 0.0)
+        reg.gauge(
             "repro_engine_admitted_streams",
             "Streams currently admitted by the engine.",
         ).set(len(self.engine.admitted))
@@ -315,6 +506,8 @@ class BrokerServer:
             ("hp_rebuilt", "HP sets rebuilt."),
             ("full_fallbacks", "Incremental ops that fell back to a full "
                                "rebuild."),
+            ("forced_invalidations", "Forced cache invalidations "
+                                     "(chaos cache_storm hook)."),
             ("route_cache_hits", "Route cache hits."),
             ("route_cache_misses", "Route cache misses."),
             ("dirty_frontier_total", "Sum of dirty-frontier sizes over "
@@ -486,7 +679,11 @@ class BrokerServer:
                     )
                     continue
                 await self._queue.put((request, None, writer))
-        except (ConnectionResetError, asyncio.IncompleteReadError):
+        except (OSError, asyncio.IncompleteReadError):
+            # OSError, not just ConnectionResetError: a peer that slams
+            # the connection shut mid-response surfaces as BrokenPipeError
+            # on the reader once connection_lost propagates the transport
+            # error (found by the chaos campaign's drop_after_send fault).
             pass
         except asyncio.CancelledError:
             # Loop teardown (asyncio.run) cancels handlers still parked in

@@ -234,3 +234,36 @@ class TestServeLoadCommands:
         summary = json.loads(out[out.index("{"):])
         assert summary["ops"] == 40 and summary["errors"] == 0
         assert summary["server_stats"]["engine"]["ops"] > 0
+
+
+class TestChaosCommand:
+    def test_chaos_round_trip(self, tmp_path, capsys):
+        code = main([
+            "chaos", "--seed", "3", "--ops", "40", "--mesh", "6x6",
+            "--target-live", "8", "--socket-fraction", "0.25",
+            "--persistence-rate", "0.5", "--protocol-rate", "0.8",
+            "--engine-rate", "0.4", "--restart-rate", "0.15",
+            "--state-dir", str(tmp_path / "state"), "--min-faults", "10",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        payload = json.loads(captured.out)
+        assert payload["ok"] and payload["bit_identical"]
+        assert payload["faults"]["total"] >= 10
+        assert payload["faults"]["layers_covered"] == 3
+        assert payload["acked_then_lost"] == []
+        assert "recovery bit-identical" in captured.err
+
+    def test_chaos_enforces_min_faults(self, capsys):
+        code = main([
+            "chaos", "--seed", "1", "--ops", "10",
+            "--socket-fraction", "0", "--persistence-rate", "0",
+            "--protocol-rate", "0", "--engine-rate", "0",
+            "--min-faults", "5",
+        ])
+        assert code == 1
+        assert "--min-faults" in capsys.readouterr().err
+
+    def test_chaos_rejects_bad_mesh(self, capsys):
+        assert main(["chaos", "--mesh", "wat"]) == 2
+        assert "--mesh wants WxH" in capsys.readouterr().err

@@ -160,16 +160,32 @@ class TestServerOps:
         assert server.handle_request({"op": "report"})["admitted"] == 1
         assert server.handle_request({"op": "ping"})["ok"]
 
-    def test_internal_errors_become_error_responses(self, tmp_path,
-                                                    monkeypatch):
-        # A journal append failure (e.g. disk full) must surface as an
-        # 'internal' error response, not an escaped exception.
+    def test_journal_errors_degrade_not_crash(self, tmp_path, monkeypatch):
+        # A journal append failure (e.g. disk full) must surface as a
+        # 'degraded' error response — rolled back, read-only — never an
+        # escaped exception (see tests/test_service_faults.py for the
+        # full degraded-mode suite).
         server = BrokerServer(MESH, state_dir=tmp_path / "s")
 
         def boom(op):
             raise OSError("disk full")
 
         monkeypatch.setattr(server.state, "append", boom)
+        resp = server.handle_request({"op": "admit", "streams": [spec()]})
+        assert not resp["ok"] and resp["code"] == "degraded"
+        assert server.handle_request({"op": "ping"})["ok"]
+        # The failed admit was rolled back: memory matches the journal.
+        assert server.handle_request({"op": "report"})["admitted"] == 0
+
+    def test_internal_errors_become_error_responses(self, monkeypatch):
+        # A non-journal escape (bug in the engine, say) must still come
+        # back as an 'internal' error response, not kill the worker.
+        server = BrokerServer(MESH)
+
+        def boom(requests):
+            raise RuntimeError("engine bug")
+
+        monkeypatch.setattr(server.engine, "try_admit", boom)
         resp = server.handle_request({"op": "admit", "streams": [spec()]})
         assert not resp["ok"] and resp["code"] == "internal"
         assert server.handle_request({"op": "ping"})["ok"]
@@ -359,6 +375,79 @@ class TestAsyncFrontEnd:
         assert all(resp["ok"] for resp in lines)
         assert lines[0]["nodes"] == 36
         assert lines[2]["stopping"]
+
+    def test_metrics_scrape_during_shutdown(self, tmp_path):
+        # Shutdown-race regression: a stats scrape already queued behind
+        # the shutdown op must be answered (the worker drains the queue
+        # before stopping), not dropped or hung on.
+        def client(sock):
+            c = BrokerClient.wait_for_unix(sock)
+            for payload in ({"op": "stats", "format": "prometheus"},
+                            {"op": "shutdown"},
+                            {"op": "stats", "format": "prometheus"}):
+                c._fh.write(json.dumps(payload).encode() + b"\n")
+            c._fh.flush()
+            lines = [json.loads(c._fh.readline()) for _ in range(3)]
+            c.close()
+            return {"lines": lines}
+
+        result = self._run(client, tmp_path)
+        lines = result["lines"]
+        assert all(resp["ok"] for resp in lines)
+        assert lines[1]["stopping"]
+        assert "repro_broker_degraded 0" in lines[2]["prometheus"]
+
+    def test_pipelined_disconnect_retry_no_duplicates(self, tmp_path):
+        # A client that pipelines two rid-carrying admits and vanishes
+        # after the first response must be able to retry both rids from
+        # a fresh connection without any double-apply.
+        def client(sock):
+            c = BrokerClient.wait_for_unix(sock)
+            for i in range(2):
+                c._fh.write(json.dumps(
+                    {"op": "admit", "rid": f"p{i}",
+                     "streams": [spec(src=6 * i, dst=6 * i + 3)]}
+                ).encode() + b"\n")
+            c._fh.flush()
+            first = json.loads(c._fh.readline())
+            c.close()  # drop mid-batch: the second ack is lost
+            r = BrokerClient.wait_for_unix(sock)
+            retries = [
+                r.check("admit", rid=f"p{i}",
+                        streams=[spec(src=6 * i, dst=6 * i + 3)])
+                for i in range(2)
+            ]
+            report = r.check("report")
+            r.check("shutdown")
+            r.close()
+            return {"first": first, "retries": retries, "report": report}
+
+        result = self._run(client, tmp_path,
+                           state_dir=tmp_path / "state")
+        assert result["first"]["ok"] and result["first"]["admitted"]
+        assert all(r["duplicate"] for r in result["retries"])
+        assert result["report"]["admitted"] == 2
+        assert result["server"].metrics.duplicates == 2
+
+    def test_retry_client_survives_server_restart(self, tmp_path):
+        # request_with_retry across a dropped connection: close the
+        # socket under the client, retry the same rid, expect a dedupe.
+        def client(sock):
+            c = BrokerClient.wait_for_unix(sock)
+            first = c.check("admit", rid="rr", streams=[spec()])
+            c._sock.close()  # simulate the connection dying under us
+            retry = c.request_with_retry(
+                "admit", rid="rr", streams=[spec()],
+                backoff_base=0.001, backoff_cap=0.01,
+            )
+            c.check("shutdown")
+            c.close()
+            return {"first": first, "retry": retry}
+
+        result = self._run(client, tmp_path)
+        assert result["first"]["admitted"]
+        assert result["retry"]["duplicate"]
+        assert result["retry"]["ids"] == result["first"]["ids"]
 
     def test_load_generator_against_live_server(self, tmp_path):
         def client(sock):
