@@ -223,6 +223,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="occupancy the churn hovers around")
     p_load.add_argument("--batch-size", type=int, default=1,
                         help="streams per admit request (default 1)")
+    p_load.add_argument("--pipeline", type=int, default=1,
+                        help="requests kept in flight (default 1 = "
+                             "closed loop)")
     p_load.add_argument("--wait", type=float, default=10.0,
                         help="seconds to wait for the broker socket")
     p_load.add_argument("--assert-stats", action="store_true",
@@ -535,6 +538,7 @@ def _run_load(args: argparse.Namespace) -> int:
             seed=args.seed,
             target_live=args.target_live,
             batch_size=args.batch_size,
+            pipeline=args.pipeline,
         )
         if args.shutdown:
             client.check("shutdown")

@@ -118,13 +118,46 @@ def indirect_processing_order(
     indirect = set(hp.indirect_ids())
     if not indirect:
         return ()
-    g = build_bdg(hp, blockers)
-    order: List[int] = []
-    for layer in bfs_layers(g, hp.owner_id):
-        layer_ids = [i for i in layer if i in indirect]
+    if _trace_active() is not None:
+        # Cold path: build the real graph so the build_bdg span fires.
+        g = build_bdg(hp, blockers)
+        order: List[int] = []
+        for layer in bfs_layers(g, hp.owner_id):
+            layer_ids = [i for i in layer if i in indirect]
+            layer_ids.sort(key=lambda i: (-streams[i].priority, i))
+            order.extend(layer_ids)
+        missing = indirect - set(order)
+        if missing:  # pragma: no cover - defensive
+            order.extend(sorted(missing))
+        return tuple(order)
+    # Hot path (once per Cal_U with indirect members): the BFS only needs
+    # the blocked-by edges restricted to the closure — walk `blockers`
+    # directly instead of materialising a DiGraph.
+    j = hp.owner_id
+    node_set = {e.stream_id for e in hp if e.stream_id != j}
+    node_set.add(j)
+    for u in node_set:
+        if u not in blockers:
+            raise AnalysisError(f"no blocking info for stream {u}")
+    order = []
+    seen = {j}
+    frontier = [j]
+    while frontier:
+        nxt = {
+            v
+            for u in frontier
+            for v in blockers[u]
+            if v in node_set and v != u and v not in seen
+        }
+        if not nxt:
+            break
+        seen.update(nxt)
+        frontier = sorted(nxt)
+        layer_ids = [i for i in frontier if i in indirect]
         layer_ids.sort(key=lambda i: (-streams[i].priority, i))
         order.extend(layer_ids)
-    missing = indirect - set(order)
+    missing = indirect - seen
     if missing:  # pragma: no cover - defensive
-        order.extend(sorted(missing))
+        rest = sorted(missing, key=lambda i: (-streams[i].priority, i))
+        order.extend(rest)
     return tuple(order)

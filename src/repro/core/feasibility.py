@@ -26,6 +26,7 @@ latency even when ``U`` exceeds the deadline.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Mapping, Optional, Set, Tuple
 
@@ -141,6 +142,14 @@ class FeasibilityAnalyzer:
         analysis, empirically unsound by one slot under equal-priority
         contention.
     """
+
+    #: Optional per-phase timing sink (any object with a mutable
+    #: ``diagram_seconds`` attribute, e.g. the admission engine's
+    #: :class:`~repro.service.engine.EngineStats`): when set,
+    #: :meth:`cal_u` accumulates the wall time spent building timing
+    #: diagrams into it. Class-level default keeps the hot path to a
+    #: single attribute test when unused.
+    timing_sink = None
 
     def __init__(
         self,
@@ -353,15 +362,22 @@ class FeasibilityAnalyzer:
         ``Cal_U``). Returns a verdict with ``upper_bound == -1`` when the
         bound exceeds the horizon."""
         stream = self.streams[stream_id]
-        dtime = int(horizon) if horizon is not None else stream.deadline
         # Called once per stream per horizon: guard the span with an
         # explicit active() check so the disabled path costs one call and
         # a None test instead of a nullcontext enter/exit.
         tr = _trace_active()
+        if horizon is None and tr is None:
+            return self._cal_u_adaptive(stream)
+        dtime = int(horizon) if horizon is not None else stream.deadline
         if tr is not None:
             tr.begin("cal_u", "analysis", stream=stream_id, horizon=dtime)
         try:
+            sink = self.timing_sink
+            if sink is not None:
+                t0 = time.perf_counter()
             diagram, removed = self.diagram_for(stream_id, dtime)
+            if sink is not None:
+                sink.diagram_seconds += time.perf_counter() - t0
             assert stream.latency is not None
             u = diagram.upper_bound(stream.latency)
             if tr is not None:
@@ -374,6 +390,73 @@ class FeasibilityAnalyzer:
             upper_bound=u,
             horizon=dtime,
             feasible=0 < u <= stream.deadline,
+            removed_instances={
+                k: frozenset(v) for k, v in removed.items()
+            },
+        )
+
+    def _cal_u_adaptive(self, stream: MessageStream) -> StreamVerdict:
+        """Deadline-horizon verdict computed over the smallest safe prefix.
+
+        The diagram construction is prefix-stable: truncating the horizon
+        truncates period windows on the right, and the greedy fill claims
+        slots left to right against a busy-from-above mask that itself
+        only depends on the prefix — so the cells in ``[1, h]`` are
+        identical for every horizon ``>= h``. A bound found at a shorter
+        horizon therefore equals the deadline-horizon bound provided
+        every window that can still disturb slots ``<= U`` closes within
+        the horizon: trivially true for direct-only HP sets (guard 0),
+        and within the max member period for ``Modify_Diagram`` release
+        decisions (the same guard :meth:`upper_bound` applies). Since
+        deadlines routinely dwarf the bound, starting from the
+        busy-window estimate instead of the deadline cuts the dominant
+        admission-path cost; the returned verdict is bit-identical to
+        the plain run except that ``removed_instances`` only covers the
+        evaluated prefix (no release decision past ``U + guard`` can
+        exist within it anyway).
+        """
+        sid = stream.stream_id
+        deadline = stream.deadline
+        hp = self.hp_sets[sid]
+        assert stream.latency is not None
+        guard = 0
+        if self.use_modify and hp.indirect_ids():
+            guard = max(
+                (self.streams[e.stream_id].period for e in hp
+                 if e.stream_id != sid),
+                default=0,
+            )
+        effective = self._effective_streams(stream)
+        members = [effective[e.stream_id] for e in hp
+                   if e.stream_id != sid]
+        util = sum(m.length / m.period for m in members)
+        h = deadline
+        if util < 0.999:
+            total_c = sum(m.length for m in members)
+            est = int(
+                (stream.latency + total_c) / (1.0 - util)
+            ) + guard + 1
+            est = max(stream.latency, est, 1)
+            # Round up to a power of two: the per-(period, horizon)
+            # window arrays are memoised, and raw estimates would give
+            # every call its own cold cache key.
+            h = min(deadline, 1 << (est - 1).bit_length())
+        sink = self.timing_sink
+        while True:
+            if sink is not None:
+                t0 = time.perf_counter()
+            diagram, removed = self.diagram_for(sid, h)
+            if sink is not None:
+                sink.diagram_seconds += time.perf_counter() - t0
+            u = diagram.upper_bound(stream.latency)
+            if h >= deadline or (u > 0 and u + guard <= h):
+                break
+            h = min(max(h * 2, h + guard), deadline)
+        return StreamVerdict(
+            stream=stream,
+            upper_bound=u,
+            horizon=deadline,
+            feasible=0 < u <= deadline,
             removed_instances={
                 k: frozenset(v) for k, v in removed.items()
             },

@@ -29,7 +29,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from ..errors import AnalysisError
 from ..obs.trace import active as _trace_active, span as _span
@@ -45,6 +53,7 @@ __all__ = [
     "direct_blockers",
     "build_hp_set",
     "build_all_hp_sets",
+    "hp_set_from_reach",
 ]
 
 
@@ -103,6 +112,7 @@ class HPSet:
     def __init__(self, owner_id: int, entries: Iterable[HPEntry] = ()):
         self.owner_id = owner_id
         self._entries: Dict[int, HPEntry] = {}
+        self._ordered: Optional[Tuple[HPEntry, ...]] = None
         for e in entries:
             self.add(e)
 
@@ -113,6 +123,7 @@ class HPSet:
                 f"stream {entry.stream_id}"
             )
         self._entries[entry.stream_id] = entry
+        self._ordered = None
 
     def __contains__(self, stream_id: object) -> bool:
         return stream_id in self._entries
@@ -127,7 +138,13 @@ class HPSet:
             ) from None
 
     def __iter__(self):
-        return iter(sorted(self._entries.values(), key=lambda e: e.stream_id))
+        # The analysis iterates each HP set many times per Cal_U with no
+        # mutation in between — cache the sorted view until the next add.
+        if self._ordered is None:
+            self._ordered = tuple(
+                sorted(self._entries.values(), key=lambda e: e.stream_id)
+            )
+        return iter(self._ordered)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -272,6 +289,54 @@ def build_hp_set(
                 if r != k and r != j and k in descendants(r)
             )
             hp.add(HPEntry.indirect(k, ins))
+    return hp
+
+
+def hp_set_from_reach(
+    owner_id: int,
+    direct: Tuple[int, ...],
+    reach: AbstractSet[int],
+    reach_map: Mapping[int, AbstractSet[int]],
+) -> HPSet:
+    """Construct ``HP_j`` from maintained reachability sets (no traversal).
+
+    The incremental admission engine keeps, per admitted stream, the
+    transitive closure ``reach[j]`` of the blocked-by relation (owner
+    excluded). Given those closed sets, the HP set falls out without any
+    graph walk — and bit-identical to :func:`build_hp_set`:
+
+    * the DIRECT elements are exactly ``blockers[j]``;
+    * the INDIRECT elements are ``reach[j]`` minus the direct ones
+      (``j`` itself never appears: the closure excludes the owner);
+    * the intermediates of an indirect ``k`` are the members ``r`` of
+      ``reach[j]`` with ``k in reach[r]`` — reachable from ``j`` and
+      reaching ``k``, i.e. the interior of some blocking chain. The
+      owner-exclusion of :func:`build_hp_set` is automatic (``j`` is not
+      in its own closure) and every indirect element has at least one
+      intermediate (the direct blocker its chain passes through), so the
+      :class:`HPEntry` invariant holds by construction.
+
+    Parameters
+    ----------
+    owner_id:
+        The analysed stream ``j``.
+    direct:
+        ``blockers[j]``, ascending (the engine maintains sorted tuples).
+    reach:
+        Closed reachable set of ``j`` over blocked-by edges, ``j``
+        excluded.
+    reach_map:
+        The closure of every admitted stream (must cover ``reach``).
+    """
+    hp = HPSet(owner_id)
+    for k in direct:
+        hp.add(HPEntry.direct(k))
+    indirect = reach.difference(direct)
+    for k in sorted(indirect):
+        ins = frozenset(
+            r for r in reach if r != k and k in reach_map[r]
+        )
+        hp.add(HPEntry.indirect(k, ins))
     return hp
 
 

@@ -52,6 +52,7 @@ from ..errors import AnalysisError
 from ..obs.trace import active as _trace_active
 from .bdg import indirect_processing_order
 from .hpset import HPSet
+from .kernel import window_arrays
 from .streams import MessageStream, StreamSet
 from .timing_diagram import TimingDiagram, generate_init_diagram, refill_rows
 
@@ -66,26 +67,32 @@ def releasable_instances(
     """Return indices of the indirect stream's instances that can be removed.
 
     An instance is releasable when every slot it occupies (ALLOCATED or
-    WAITING) is requested by **no** intermediate stream.
+    WAITING) is requested by **no** intermediate stream. Computed
+    straight off the row masks: instance indices are period-window
+    indices, so mapping each occupied slot through the shared
+    slot-to-window array and discarding windows that contain a requested
+    slot yields exactly the instances the per-record check would pass —
+    without materialising any instance records.
     """
     if not intermediates:
         raise AnalysisError(
             f"indirect stream {indirect_id} has no intermediates"
         )
-    inter_rows = [diagram.row_of(r) for r in sorted(intermediates)]
+    row = diagram.row_of(indirect_id)
+    occ_idx = np.flatnonzero(diagram.row_requests(row))
+    if len(occ_idx) == 0:
+        return ()
     requested = np.zeros(diagram.dtime + 1, dtype=bool)
-    for r in inter_rows:
-        requested |= diagram.row_requests(r)
-    out = []
-    for inst in diagram.instances[indirect_id]:
-        if len(inst.alloc_arr) == 0 and len(inst.wait_arr) == 0:
-            continue
-        if (
-            not requested[inst.alloc_arr].any()
-            and not requested[inst.wait_arr].any()
-        ):
-            out.append(inst.index)
-    return tuple(out)
+    for r in sorted(intermediates):
+        requested |= diagram.row_requests(diagram.row_of(r))
+    _, win = window_arrays(
+        diagram.row_streams[row].period, diagram.dtime
+    )
+    # The arrays are tiny (a handful of occupied slots): plain set
+    # arithmetic beats numpy's set routines here.
+    w_occ = win[occ_idx]
+    bad = set(w_occ[requested[occ_idx]].tolist())
+    return tuple(sorted(set(w_occ.tolist()) - bad))
 
 
 def releasable_slots(

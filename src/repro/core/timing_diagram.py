@@ -38,14 +38,26 @@ diagrams reproduce ``U = (7, 8, 26, 20, 33)`` — see ``tests/test_paper_example
 
 from __future__ import annotations
 
+from collections.abc import Mapping as _MappingABC
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import AbstractSet, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
 from ..errors import AnalysisError
 from ..obs.trace import active as _trace_active
+from .kernel import fill_masks, window_arrays
 from .streams import MessageStream
 
 __all__ = [
@@ -119,6 +131,32 @@ class InstanceAllocation:
         )
 
 
+class _InstanceView(_MappingABC):
+    """Read-only ``stream_id -> [InstanceAllocation]`` view of a diagram.
+
+    The records are derived data — fully determined by the row masks and
+    the per-row skip sets — and only ``Modify_Diagram``'s release check
+    (plus tests and rendering) ever reads them, while ``refill_rows``
+    rewrites masks on every compaction pass. Building them lazily, one
+    stream on first access, makes the common re-fill (no indirect
+    elements, nobody asks) free of per-instance Python objects.
+    """
+
+    __slots__ = ("_diagram",)
+
+    def __init__(self, diagram: "TimingDiagram"):
+        self._diagram = diagram
+
+    def __getitem__(self, stream_id: int) -> List["InstanceAllocation"]:
+        return self._diagram._records_for(stream_id)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(s.stream_id for s in self._diagram.row_streams)
+
+    def __len__(self) -> int:
+        return len(self._diagram.row_streams)
+
+
 class TimingDiagram:
     """A populated timing diagram for one analysed stream.
 
@@ -150,9 +188,14 @@ class TimingDiagram:
         #: busy-from-above prefix per row: busy_above[i] = OR of allocations
         #: of rows 0..i-1. Row n (== result row) is the union of all.
         self._busy_above: Optional[np.ndarray] = None
-        self.instances: Dict[int, List[InstanceAllocation]] = {
-            s.stream_id: [] for s in self.row_streams
-        }
+        #: Lazily-built per-stream instance records (see _InstanceView).
+        self.instances: Mapping[int, List[InstanceAllocation]] = (
+            _InstanceView(self)
+        )
+        self._records: Dict[int, List[InstanceAllocation]] = {}
+        self._requests: Dict[int, np.ndarray] = {}
+        self._row_skip: Dict[int, Tuple[int, ...]] = {}
+        self._filled: Set[int] = set()
 
     # ------------------------------------------------------------------ #
     # Row access
@@ -208,8 +251,59 @@ class TimingDiagram:
 
         A slot is *requested* when the row is ALLOCATED or WAITING there —
         the condition ``Modify_Diagram`` evaluates on intermediate streams.
+        Cached per row (invalidated when the row is re-filled); callers
+        must treat the returned mask as read-only.
         """
-        return self.allocated[row] | self.waiting[row]
+        mask = self._requests.get(row)
+        if mask is None:
+            mask = self.allocated[row] | self.waiting[row]
+            self._requests[row] = mask
+        return mask
+
+    def _records_for(self, stream_id: int) -> List[InstanceAllocation]:
+        """Build (or return cached) instance records for one stream row.
+
+        Splits the row's allocated/waiting slot indices per period window
+        — exactly the records the eager fill used to produce, but only
+        for rows somebody actually reads.
+        """
+        records = self._records.get(stream_id)
+        if records is not None:
+            return records
+        row = self.row_of(stream_id)
+        records = []
+        if row in self._filled:
+            stream = self.row_streams[row]
+            starts, _ = window_arrays(stream.period, self.dtime)
+            skip = self._row_skip.get(row, ())
+            skip_set = frozenset(skip)
+            alloc_idx = np.flatnonzero(self.allocated[row])
+            wait_idx = np.flatnonzero(self.waiting[row])
+            a_bounds = np.searchsorted(alloc_idx, starts, side="right")
+            w_bounds = np.searchsorted(wait_idx, starts, side="right")
+            n = len(starts)
+            length = stream.length
+            for index in range(n):
+                if index in skip_set:
+                    continue
+                a_lo = a_bounds[index]
+                a_hi = a_bounds[index + 1] if index + 1 < n else len(alloc_idx)
+                w_lo = w_bounds[index]
+                w_hi = w_bounds[index + 1] if index + 1 < n else len(wait_idx)
+                a = alloc_idx[a_lo:a_hi]
+                w = wait_idx[w_lo:w_hi]
+                records.append(
+                    InstanceAllocation(
+                        stream_id=stream_id,
+                        index=index,
+                        release=int(starts[index]),
+                        satisfied=len(a) == length,
+                        alloc_arr=a,
+                        wait_arr=w,
+                    )
+                )
+        self._records[stream_id] = records
+        return records
 
     # ------------------------------------------------------------------ #
     # Result-row queries (Cal_U's final scan)
@@ -348,37 +442,31 @@ def _fill_row(
 ) -> None:
     """(Re)compute one row's allocation against the busy-from-above mask.
 
-    Vectorised: instead of scanning each period window cell by cell, rank
-    the FREE slots with a cumulative sum — within a window, the slots whose
-    free-rank (relative to the window start) is in ``[1, C]`` are exactly
-    the first ``C`` free slots the paper's scan would allocate, and a BUSY
-    slot is WAITING exactly when fewer than ``C`` free slots precede it in
-    its window (the scan was still unsatisfied when it passed).
+    The mask computation lives in :mod:`repro.core.kernel` (numpy
+    free-rank by default, optional numba scan): instead of scanning each
+    period window cell by cell, rank the FREE slots with a cumulative sum
+    — within a window, the slots whose free-rank (relative to the window
+    start) is in ``[1, C]`` are exactly the first ``C`` free slots the
+    paper's scan would allocate, and a BUSY slot is WAITING exactly when
+    fewer than ``C`` free slots precede it in its window (the scan was
+    still unsatisfied when it passed).
     """
     stream = diagram.row_streams[row]
     sid = stream.stream_id
     period, length = stream.period, stream.length
     dtime = diagram.dtime
 
-    free = ~busy
-    free[0] = False
-    fc = np.cumsum(free)
-    # Window k covers slots (k*T, (k+1)*T] intersected with [1, dtime].
-    slots = np.arange(dtime + 1)
-    window_id = (slots - 1) // period
-    starts = np.arange(0, dtime, period)          # release times
-    base = fc[starts]                              # free count before window
-    rank = fc - base[np.clip(window_id, 0, len(starts) - 1)]
-
-    alloc = free & (rank >= 1) & (rank <= length)
-    wait = busy & (rank < length)
-    alloc[0] = wait[0] = False
+    alloc, wait, starts = fill_masks(busy, period, length, dtime)
     if erased:
-        idx = np.fromiter((t for t in erased if 1 <= t <= dtime), dtype=int)
-        if len(idx):
+        # Only slots inside the horizon can be erased; the common case
+        # (no erasures) never reaches here, and an all-out-of-range set
+        # must not pay the fancy-index either.
+        idx = [t for t in erased if 1 <= t <= dtime]
+        if idx:
             alloc[idx] = False
             wait[idx] = False
-    for index in skip:
+    skip_sorted = tuple(sorted(skip))
+    for index in skip_sorted:
         if 0 <= index < len(starts):
             lo = starts[index] + 1
             hi = min(starts[index] + period, dtime)
@@ -387,34 +475,12 @@ def _fill_row(
 
     diagram.allocated[row] = alloc
     diagram.waiting[row] = wait
-
-    # Split the index arrays per instance window for the records.
-    alloc_idx = np.flatnonzero(alloc)
-    wait_idx = np.flatnonzero(wait)
-    a_bounds = np.searchsorted(alloc_idx, starts, side="right")
-    w_bounds = np.searchsorted(wait_idx, starts, side="right")
-    records: List[InstanceAllocation] = []
-    n = len(starts)
-    for index in range(n):
-        if index in skip:
-            continue
-        a_lo = a_bounds[index]
-        a_hi = a_bounds[index + 1] if index + 1 < n else len(alloc_idx)
-        w_lo = w_bounds[index]
-        w_hi = w_bounds[index + 1] if index + 1 < n else len(wait_idx)
-        a = alloc_idx[a_lo:a_hi]
-        w = wait_idx[w_lo:w_hi]
-        records.append(
-            InstanceAllocation(
-                stream_id=sid,
-                index=index,
-                release=int(starts[index]),
-                satisfied=len(a) == length,
-                alloc_arr=a,
-                wait_arr=w,
-            )
-        )
-    diagram.instances[sid] = records
+    # Records and the requests mask are derived from the masks just
+    # rewritten — drop the stale caches; _records_for rebuilds on demand.
+    diagram._row_skip[row] = skip_sorted
+    diagram._filled.add(row)
+    diagram._records.pop(sid, None)
+    diagram._requests.pop(row, None)
 
 
 def refill_rows(
@@ -445,4 +511,6 @@ def refill_rows(
             removed.get(stream.stream_id, frozenset()),
             erased_slots.get(stream.stream_id),
         )
-        busy = busy | diagram.allocated[row]
+        # `busy` is a private accumulator here (fresh zeros or a fresh
+        # .any() reduction), so the OR can run in place.
+        np.logical_or(busy, diagram.allocated[row], out=busy)

@@ -9,11 +9,20 @@ streams whose transitive HP closure reaches a changed stream.
 
 This engine maintains, between requests:
 
-* a route cache keyed by ``(src, dst)`` (routes never change for a pair);
+* a process-wide **route table** shared across engines on the same
+  topology/routing (:func:`~repro.topology.route_table.shared_route_table`)
+  — routes are a pure function of ``(src, dst)``, so one memoized lookup
+  serves every engine, analyzer rebuild and replay;
 * per-stream channel sets and a channel -> users index, so the streams
   that overlap a new route are found by link lookup, not an O(n) scan;
 * the direct-blocking relation and its reverse adjacency;
-* per-stream HP sets and :class:`~repro.core.feasibility.StreamVerdict`\\ s.
+* per-stream **reachability closures** over the blocked-by relation,
+  updated by delta on attach/detach, from which HP sets are produced
+  without any graph traversal (:func:`~repro.core.hpset.hp_set_from_reach`);
+* per-stream HP sets and :class:`~repro.core.feasibility.StreamVerdict`\\ s,
+  plus a **verdict memo** keyed by the full analytic input of ``Cal_U``
+  (owner stream + HP member streams/modes/intermediates), so churn that
+  re-creates a previously seen configuration skips the diagram entirely.
 
 **Invalidation rule (link-overlap / closure reachability).** A verdict for
 stream ``j`` depends only on ``j`` itself, ``HP_j``, the parameters of the
@@ -34,8 +43,31 @@ inputs listed above. When the dirty frontier covers the whole set the
 engine falls back to a plain full :class:`FeasibilityAnalyzer` run (and
 adopts its structures as the new caches).
 
-Set ``REPRO_INCREMENTAL=0`` to force the full path on every op — the
-escape hatch used by CI's equivalence leg and the perf baseline.
+**Reach-set maintenance.** ``_reach[j]`` is the transitive closure of the
+blocked-by relation from ``j`` (``j`` excluded) — exactly the member ids
+of ``HP_j``. On attach of ``k`` every new edge is incident to ``k``, so
+``reach(k) = union over direct blockers x of ({x} | reach(x))`` is already
+closed, and every affected ``j`` (reverse-reachable of ``k``) gains exactly
+``{k} | reach(k)``. On release the dirty streams' closures are recomputed
+by a traversal that expands dirty nodes edge-by-edge but absorbs every
+clean neighbour's (unchanged, already closed) reach set wholesale — a
+clean stream can never reach a dirty one, or it would reach a removed id.
+
+Dirty-set ``Cal_U`` runs that miss the memo are independent, so when the
+dirty frontier is large enough they fan out over a persistent
+:class:`~concurrent.futures.ProcessPoolExecutor`
+(:func:`~repro.analysis.parallel.map_verdicts`) and merge in sorted-id
+order — bit-identical to the serial path.
+
+Escape hatches (all default-on paths have default-off twins for CI's
+equivalence legs and the perf baselines):
+
+* ``REPRO_INCREMENTAL=0`` — force the full analyzer on every op;
+* ``REPRO_INCREMENTAL_HP=0`` — keep closure invalidation but rebuild each
+  dirty HP set by graph traversal instead of from the reach deltas;
+* ``REPRO_ANALYSIS_PROCS=0`` — never use the verdict process pool
+  (unset = ``os.cpu_count()`` workers; parallelism only engages when the
+  dirty frontier reaches ``REPRO_ANALYSIS_THRESHOLD``, default 8).
 
 **Closure-scoped guarantees (finding F-7).** A stream's bound is only a
 guarantee while its transitive HP closure is itself admitted (the bound
@@ -48,28 +80,59 @@ guarantee is scoped to, so clients can propagate the condition.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from ..analysis.parallel import map_verdicts, verdict_processes_default
 from ..core.admission import AdmissionDecision
 from ..core.feasibility import (
     FeasibilityAnalyzer,
     FeasibilityReport,
     StreamVerdict,
 )
-from ..core.hpset import HPSet, build_hp_set
+from ..core.hpset import HPSet, build_hp_set, hp_set_from_reach
 from ..core.latency import LatencyModel, NoLoadLatency
 from ..core.streams import MessageStream, StreamSet
 from ..errors import AnalysisError, StreamError
 from ..topology.base import Channel
+from ..topology.route_table import shared_route_table
 from ..topology.routing import RoutingAlgorithm
 
 __all__ = ["EngineStats", "IncrementalAdmissionEngine"]
+
+#: Verdict-memo capacity (entries). FIFO eviction: the memo exists for
+#: churn (release/re-admit of recurring configurations), where recency is
+#: a good-enough proxy and bookkeeping must stay off the hot path.
+_MEMO_CAP = 8192
 
 
 def incremental_enabled_default() -> bool:
     """Whether incremental recomputation is on (``REPRO_INCREMENTAL`` != 0)."""
     return os.environ.get("REPRO_INCREMENTAL", "1") != "0"
+
+
+def hp_incremental_enabled_default() -> bool:
+    """Whether HP sets come from reach deltas (``REPRO_INCREMENTAL_HP`` != 0)."""
+    return os.environ.get("REPRO_INCREMENTAL_HP", "1") != "0"
+
+
+def parallel_threshold_default() -> int:
+    """Minimum dirty-frontier size before the verdict pool engages.
+
+    ``REPRO_ANALYSIS_THRESHOLD`` (default 8): below it, per-task IPC
+    (pickling the prepared analyzer to the workers) costs more than the
+    ``Cal_U`` runs it saves.
+    """
+    raw = os.environ.get("REPRO_ANALYSIS_THRESHOLD", "").strip()
+    if not raw:
+        return 8
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise AnalysisError(
+            f"REPRO_ANALYSIS_THRESHOLD must be an integer, got {raw!r}"
+        ) from None
 
 
 @dataclass
@@ -82,7 +145,9 @@ class EngineStats:
     releases: int = 0
     verdicts_recomputed: int = 0
     verdicts_reused: int = 0
+    verdict_memo_hits: int = 0
     hp_rebuilt: int = 0
+    hp_delta_updates: int = 0
     full_fallbacks: int = 0
     forced_invalidations: int = 0
     route_cache_hits: int = 0
@@ -91,6 +156,14 @@ class EngineStats:
     dirty_last: int = 0
     dirty_max: int = 0
     dirty_total: int = 0
+    #: Per-phase wall-clock breakdown of the admission hot path. Note
+    #: ``verdict_seconds`` covers the whole verdict phase and therefore
+    #: *includes* ``diagram_seconds`` (the diagram build inside ``Cal_U``);
+    #: diagram time spent inside pool workers is not visible here.
+    route_seconds: float = 0.0
+    hp_seconds: float = 0.0
+    diagram_seconds: float = 0.0
+    verdict_seconds: float = 0.0
 
     def note_dirty(self, size: int) -> None:
         """Record one incremental op's dirty-frontier size."""
@@ -107,11 +180,17 @@ class EngineStats:
     def to_dict(self) -> Dict[str, float]:
         out = {k: getattr(self, k) for k in (
             "ops", "admits", "rejects", "releases",
-            "verdicts_recomputed", "verdicts_reused", "hp_rebuilt",
+            "verdicts_recomputed", "verdicts_reused", "verdict_memo_hits",
+            "hp_rebuilt", "hp_delta_updates",
             "full_fallbacks", "forced_invalidations",
             "route_cache_hits", "route_cache_misses",
             "dirty_last", "dirty_max", "dirty_total",
         )}
+        for k in (
+            "route_seconds", "hp_seconds", "diagram_seconds",
+            "verdict_seconds",
+        ):
+            out[k] = round(getattr(self, k), 6)
         out["cache_hit_rate"] = round(self.cache_hit_rate(), 4)
         return out
 
@@ -138,6 +217,14 @@ class IncrementalAdmissionEngine:
     incremental:
         ``True``/``False`` force the mode; ``None`` (default) reads the
         ``REPRO_INCREMENTAL`` environment variable (unset/``1`` = on).
+    incremental_hp:
+        Whether dirty HP sets come from the maintained reach closures
+        (delta path) or a fresh graph traversal. ``None`` reads
+        ``REPRO_INCREMENTAL_HP`` (unset/``1`` = delta path).
+    processes:
+        Worker count for parallel verdict recomputation; ``None`` reads
+        ``REPRO_ANALYSIS_PROCS`` (unset = ``os.cpu_count()``, ``0`` or
+        ``1`` = serial).
     """
 
     def __init__(
@@ -148,6 +235,8 @@ class IncrementalAdmissionEngine:
         use_modify: bool = True,
         residency_margin: int = 0,
         incremental: Optional[bool] = None,
+        incremental_hp: Optional[bool] = None,
+        processes: Optional[int] = None,
     ):
         self.routing = routing
         self.latency_model = latency_model or NoLoadLatency()
@@ -156,19 +245,32 @@ class IncrementalAdmissionEngine:
         if incremental is None:
             incremental = incremental_enabled_default()
         self.incremental = bool(incremental)
+        if incremental_hp is None:
+            self.incremental_hp = hp_incremental_enabled_default()
+        else:
+            self.incremental_hp = bool(incremental_hp)
+        if processes is None:
+            self._pool_processes = verdict_processes_default()
+        else:
+            self._pool_processes = processes if processes >= 2 else None
+        self._parallel_threshold = parallel_threshold_default()
         self.stats = EngineStats()
 
         self._admitted = StreamSet()   # streams as requested (raw latency)
         self._resolved = StreamSet()   # latencies resolved over the route
         self._next_id = 0
-        # Caches (all id-keyed, values immutable except _rev's sets).
-        self._route_cache: Dict[Tuple[int, int], FrozenSet[Channel]] = {}
+        # Caches (all id-keyed, values immutable except _rev's sets; reach
+        # sets are replaced, never mutated in place, so rollback can keep
+        # references to the old objects).
+        self._route_table = shared_route_table(routing)
         self._channels: Dict[int, FrozenSet[Channel]] = {}
         self._channel_users: Dict[Channel, FrozenSet[int]] = {}
         self._blockers: Dict[int, Tuple[int, ...]] = {}
         self._rev: Dict[int, Set[int]] = {}
+        self._reach: Dict[int, Set[int]] = {}
         self._hp_sets: Dict[int, HPSet] = {}
         self._verdicts: Dict[int, StreamVerdict] = {}
+        self._verdict_memo: Dict[tuple, StreamVerdict] = {}
 
     # ------------------------------------------------------------------ #
     # Public surface
@@ -220,12 +322,15 @@ class IncrementalAdmissionEngine:
         """Drop every derived cache and rebuild from the admitted set.
 
         The chaos campaign's engine-layer fault (``cache_storm``): after
-        an invalidation storm all verdicts, HP sets, routes and indexes
-        are recomputed from scratch, and must come back bit-identical —
-        the caches are an optimisation, never a source of truth.
+        an invalidation storm all verdicts, HP sets, reach closures, the
+        verdict memo, the shared route table and the indexes are
+        recomputed from scratch, and must come back bit-identical — the
+        caches are an optimisation, never a source of truth.
         """
         self.stats.forced_invalidations += 1
-        self._route_cache.clear()
+        self._route_table.clear()
+        self._reach.clear()
+        self._verdict_memo.clear()
         self._full_rebuild()
 
     def closure(self, stream_id: int) -> Tuple[int, ...]:
@@ -320,6 +425,10 @@ class IncrementalAdmissionEngine:
             self._full_rebuild()
             self.stats.full_fallbacks += 1
             return
+        if self.incremental_hp:
+            t0 = time.perf_counter()
+            self._recompute_reach(dirty)
+            self.stats.hp_seconds += time.perf_counter() - t0
         self._refresh(dirty)
 
     # ------------------------------------------------------------------ #
@@ -329,22 +438,51 @@ class IncrementalAdmissionEngine:
     def _incremental_admit(
         self, requests: Tuple[MessageStream, ...]
     ) -> AdmissionDecision:
-        saved = self._snapshot_caches()
-        for r in requests:
-            self._attach(r)
+        # No O(n) cache snapshot up front: the attach path keeps an undo
+        # log of the reach entries it replaces, and the refresh path saves
+        # the HP sets / verdicts of the dirty ids before overwriting them.
+        # Rejection then detaches the added streams (the exact structural
+        # inverse of attach) and restores only those saved entries.
+        undo_reach: Dict[int, Optional[Set[int]]] = {}
         added = [r.stream_id for r in requests]
-        dirty = self._reverse_reachable(added)
+        dirty: Set[int] = set()
+        for r in requests:
+            dirty |= self._attach(r, undo_reach=undo_reach)
         dirty.update(added)
         self.stats.note_dirty(len(dirty))
         if len(dirty) >= len(self._admitted):
             report = self._full_rebuild()
             self.stats.full_fallbacks += 1
-        else:
-            self._refresh(dirty)
-            report = self._report_from_cache()
+            if report.success:
+                return AdmissionDecision(True, report, ())
+            # Rare reject-after-fallback: the wholesale rebuild replaced
+            # every cache, so the undo log no longer applies — detach the
+            # added streams and rebuild the original set from scratch.
+            for sid in added:
+                self._detach(sid)
+            self._full_rebuild()
+            return AdmissionDecision(False, report, report.infeasible_ids())
+        saved_hp = {j: self._hp_sets.get(j) for j in dirty}
+        saved_vd = {j: self._verdicts.get(j) for j in dirty}
+        self._refresh(dirty)
+        report = self._report_from_cache()
         if report.success:
             return AdmissionDecision(True, report, ())
-        self._restore_caches(saved)
+        for sid in added:
+            self._detach(sid)
+        for j, old_reach in undo_reach.items():
+            if j not in self._admitted:
+                continue
+            if old_reach is None:
+                self._reach.pop(j, None)
+            else:
+                self._reach[j] = old_reach
+        for j, hp in saved_hp.items():
+            if hp is not None and j in self._admitted:
+                self._hp_sets[j] = hp
+        for j, vd in saved_vd.items():
+            if vd is not None and j in self._admitted:
+                self._verdicts[j] = vd
         return AdmissionDecision(False, report, report.infeasible_ids())
 
     def _full_admit(
@@ -367,6 +505,7 @@ class IncrementalAdmissionEngine:
             self._channel_users.clear()
             self._blockers.clear()
             self._rev.clear()
+            self._reach.clear()
             self._hp_sets.clear()
             self._verdicts.clear()
             return FeasibilityReport.trivial()
@@ -374,6 +513,10 @@ class IncrementalAdmissionEngine:
             StreamSet(self._admitted),
             self.routing,
             latency_model=self.latency_model,
+            channels={
+                s.stream_id: self._route(s.src, s.dst)
+                for s in self._admitted
+            },
             use_modify=self.use_modify,
             residency_margin=self.residency_margin,
         )
@@ -384,33 +527,96 @@ class IncrementalAdmissionEngine:
         self._hp_sets = dict(analyzer.hp_sets)
         self._verdicts = dict(report.verdicts)
         self._rebuild_indexes()
+        if self.incremental_hp:
+            self._reach = {
+                sid: set(hp.ids()) for sid, hp in self._hp_sets.items()
+            }
         self.stats.verdicts_recomputed += len(report.verdicts)
+        self.stats.hp_rebuilt += len(report.verdicts)
         return report
 
     def _refresh(self, dirty: Set[int]) -> None:
         """Rebuild HP sets and verdicts for the dirty ids only."""
+        stats = self.stats
         if not dirty:
-            self.stats.verdicts_reused += len(self._verdicts)
+            stats.verdicts_reused += len(self._verdicts)
             return
-        for j in sorted(dirty):
-            self._hp_sets[j] = build_hp_set(
-                self._resolved[j], self._resolved, self._blockers
+        order = sorted(dirty)
+        t0 = time.perf_counter()
+        if self.incremental_hp:
+            reach_map = self._reach
+            for j in order:
+                self._hp_sets[j] = hp_set_from_reach(
+                    j, self._blockers[j], reach_map[j], reach_map
+                )
+            stats.hp_delta_updates += len(order)
+        else:
+            for j in order:
+                self._hp_sets[j] = build_hp_set(
+                    self._resolved[j], self._resolved, self._blockers
+                )
+            stats.hp_rebuilt += len(order)
+        stats.hp_seconds += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        memo = self._verdict_memo
+        pending: List[int] = []
+        keys: Dict[int, tuple] = {}
+        for j in order:
+            key = self._memo_key(j)
+            keys[j] = key
+            hit = memo.get(key)
+            if hit is not None:
+                self._verdicts[j] = hit
+                stats.verdict_memo_hits += 1
+            else:
+                pending.append(j)
+        if pending:
+            analyzer = FeasibilityAnalyzer.from_prepared(
+                self._resolved,
+                self._channels,
+                self._blockers,
+                self._hp_sets,
+                routing=self.routing,
+                latency_model=self.latency_model,
+                use_modify=self.use_modify,
+                residency_margin=self.residency_margin,
             )
-            self.stats.hp_rebuilt += 1
-        analyzer = FeasibilityAnalyzer.from_prepared(
-            self._resolved,
-            self._channels,
-            self._blockers,
-            self._hp_sets,
-            routing=self.routing,
-            latency_model=self.latency_model,
-            use_modify=self.use_modify,
-            residency_margin=self.residency_margin,
+            analyzer.timing_sink = stats
+            procs = self._pool_processes
+            if procs is not None and len(pending) >= self._parallel_threshold:
+                computed = map_verdicts(analyzer, pending, processes=procs)
+            else:
+                computed = {j: analyzer.cal_u(j) for j in pending}
+            for j in pending:
+                v = computed[j]
+                self._verdicts[j] = v
+                memo[keys[j]] = v
+            while len(memo) > _MEMO_CAP:
+                memo.pop(next(iter(memo)))
+        stats.verdict_seconds += time.perf_counter() - t0
+        stats.verdicts_recomputed += len(pending)
+        stats.verdicts_reused += len(self._verdicts) - len(dirty)
+
+    def _memo_key(self, j: int) -> tuple:
+        """The full analytic input of ``Cal_U(j)``, as a hashable key.
+
+        A verdict is a pure function of the owner stream and the HP
+        members (their parameters, modes and intermediate sets): routes
+        are fixed per ``(src, dst)``, so the blocking edges *among* the
+        closure members — all the BDG uses — are determined by the member
+        streams themselves. Resolved streams are frozen dataclasses, so
+        the key is hashable and survives release/re-admit cycles.
+        """
+        hp = self._hp_sets[j]
+        resolved = self._resolved
+        return (
+            resolved[j],
+            tuple(
+                (resolved[e.stream_id], e.mode, e.intermediates)
+                for e in hp
+            ),
         )
-        for j in sorted(dirty):
-            self._verdicts[j] = analyzer.cal_u(j)
-        self.stats.verdicts_recomputed += len(dirty)
-        self.stats.verdicts_reused += len(self._verdicts) - len(dirty)
 
     def _report_from_cache(self) -> FeasibilityReport:
         # Same construction order as determine_feasibility for bit-identity.
@@ -425,27 +631,41 @@ class IncrementalAdmissionEngine:
     # ------------------------------------------------------------------ #
 
     def _route(self, src: int, dst: int) -> FrozenSet[Channel]:
-        key = (src, dst)
-        cached = self._route_cache.get(key)
-        if cached is not None:
-            self.stats.route_cache_hits += 1
-            return cached
-        self.stats.route_cache_misses += 1
-        chans = frozenset(self.routing.route_channels(src, dst))
-        self._route_cache[key] = chans
+        t0 = time.perf_counter()
+        chans, was_cached = self._route_table.lookup(src, dst)
+        stats = self.stats
+        if was_cached:
+            stats.route_cache_hits += 1
+        else:
+            stats.route_cache_misses += 1
+        stats.route_seconds += time.perf_counter() - t0
         return chans
 
     def _attach(
-        self, stream: MessageStream, *, structures_only: bool = False
-    ) -> None:
+        self,
+        stream: MessageStream,
+        *,
+        structures_only: bool = False,
+        undo_reach: Optional[Dict[int, Optional[Set[int]]]] = None,
+    ) -> Set[int]:
         """Add one stream to the admitted set and the dependency indexes.
 
-        With ``structures_only`` (full mode) only the admitted set is
-        maintained — the analyzer rebuild supplies the rest.
+        Returns the reverse-reachable set of the new stream on the updated
+        graph (the ids whose closures changed, new id included); the union
+        of these sets over a batch equals the batch's dirty set, because
+        every new edge is incident to some added stream. With
+        ``structures_only`` (full mode) only the admitted set is
+        maintained — the analyzer rebuild supplies the rest — and the
+        returned set is empty.
+
+        When ``undo_reach`` is given, every reach entry this attach
+        replaces is recorded there once (``None`` = was absent), so a
+        rejected trial can restore the old closures without an O(n)
+        snapshot.
         """
         self._admitted.add(stream)
         if structures_only:
-            return
+            return set()
         k = stream.stream_id
         chans = self._route(stream.src, stream.dst)
         self._channels[k] = chans
@@ -475,6 +695,32 @@ class IncrementalAdmissionEngine:
                 self._rev[k].add(j)
         self._blockers[k] = tuple(sorted(bk))
 
+        affected = self._reverse_reachable((k,))
+        if self.incremental_hp:
+            t0 = time.perf_counter()
+            reach = self._reach
+            # All new edges touch k, so the closure over k's direct
+            # blockers' (old, still-valid) closures is itself closed.
+            rk: Set[int] = set()
+            for x in bk:
+                rk.add(x)
+                rk.update(reach.get(x, ()))
+            rk.discard(k)
+            if undo_reach is not None and k not in undo_reach:
+                undo_reach[k] = None
+            reach[k] = rk
+            gain = rk | {k}
+            for j in affected:
+                if j == k:
+                    continue
+                if undo_reach is not None and j not in undo_reach:
+                    undo_reach[j] = reach.get(j)
+                new = reach.get(j, set()) | gain
+                new.discard(j)
+                reach[j] = new
+            self.stats.hp_seconds += time.perf_counter() - t0
+        return affected
+
     def _detach(self, sid: int) -> None:
         """Remove one stream from the admitted set and every index."""
         self._admitted.remove(sid)
@@ -493,6 +739,7 @@ class IncrementalAdmissionEngine:
         for v in self._blockers.pop(sid, ()):
             if v in self._rev:
                 self._rev[v].discard(sid)
+        self._reach.pop(sid, None)
         self._hp_sets.pop(sid, None)
         self._verdicts.pop(sid, None)
 
@@ -508,6 +755,34 @@ class IncrementalAdmissionEngine:
             frontier.extend(self._rev.get(v, ()))
         return seen
 
+    def _recompute_reach(self, dirty: Set[int]) -> None:
+        """Recompute the closures of the dirty ids after a release.
+
+        A clean (non-dirty) stream cannot reach a dirty one — it would
+        reach a removed id through it — so its closure is unchanged and
+        already transitively closed. The walk therefore only expands
+        dirty nodes edge-by-edge and absorbs each clean neighbour's
+        closure wholesale.
+        """
+        reach = self._reach
+        blockers = self._blockers
+        for j in dirty:
+            out: Set[int] = set()
+            seen: Set[int] = {j}
+            stack = list(blockers.get(j, ()))
+            while stack:
+                x = stack.pop()
+                if x in seen:
+                    continue
+                seen.add(x)
+                out.add(x)
+                if x in dirty:
+                    stack.extend(blockers.get(x, ()))
+                else:
+                    out.update(reach.get(x, ()))
+            out.discard(j)
+            reach[j] = out
+
     def _rebuild_indexes(self) -> None:
         """Derive channel-users and reverse adjacency from the caches."""
         self._channel_users = {}
@@ -522,7 +797,7 @@ class IncrementalAdmissionEngine:
                 self._rev[v].add(sid)
 
     # ------------------------------------------------------------------ #
-    # Rollback (rejected admissions)
+    # Rollback (rejected admissions, full mode)
     # ------------------------------------------------------------------ #
 
     def _snapshot_caches(self):
@@ -533,6 +808,7 @@ class IncrementalAdmissionEngine:
             dict(self._channel_users),
             dict(self._blockers),
             {k: set(v) for k, v in self._rev.items()},
+            {k: set(v) for k, v in self._reach.items()},
             dict(self._hp_sets),
             dict(self._verdicts),
         )
@@ -545,6 +821,7 @@ class IncrementalAdmissionEngine:
             self._channel_users,
             self._blockers,
             self._rev,
+            self._reach,
             self._hp_sets,
             self._verdicts,
         ) = saved

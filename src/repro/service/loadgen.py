@@ -15,9 +15,10 @@ import json
 import random
 import socket
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
 from ..errors import ReproError
 from .protocol import retry_backoff
@@ -63,6 +64,9 @@ class BrokerClient:
                 (self._host, self._port), timeout=self._timeout
             )
         self._fh = self._sock.makefile("rwb")
+        # Requests on the wire whose responses have not been read yet
+        # (pipelined I/O); a fresh connection has none by definition.
+        self._pending: Deque[int] = deque()
 
     def reconnect(self, *, timeout: float = 10.0) -> None:
         """Tear the connection down and dial again, retrying until the
@@ -102,24 +106,60 @@ class BrokerClient:
                     ) from None
                 time.sleep(0.05)
 
-    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """Send one op and return the matching response."""
+    def send(self, op: str, **fields: Any) -> int:
+        """Queue one op on the wire without waiting for its response.
+
+        Returns the request's sequence number; pair with :meth:`flush`
+        and :meth:`recv` for pipelined I/O. The server answers each
+        connection's requests in order, so responses are consumed FIFO.
+        """
         self._seq += 1
         payload = {"op": op, "id": self._seq, **fields}
         self._fh.write(
             (json.dumps(payload, separators=(",", ":")) + "\n").encode()
         )
+        self._pending.append(self._seq)
+        return self._seq
+
+    def flush(self) -> None:
+        """Push every queued request onto the socket."""
         self._fh.flush()
+
+    def recv(self, seq: Optional[int] = None) -> Dict[str, Any]:
+        """Read the response of the oldest in-flight request.
+
+        ``seq`` (when given) must name that request — responses are
+        strictly FIFO per connection.
+        """
+        if not self._pending:
+            raise ReproError("recv with no request in flight")
+        expect = self._pending.popleft()
+        if seq is not None and seq != expect:
+            raise ReproError(
+                f"recv out of order: oldest in-flight request is "
+                f"{expect}, asked for {seq}"
+            )
         line = self._fh.readline()
         if not line:
             raise ReproError("broker closed the connection")
         response = json.loads(line.decode("utf-8"))
-        if response.get("id") not in (None, self._seq):
+        if response.get("id") not in (None, expect):
             raise ReproError(
                 f"response id {response.get('id')} does not match "
-                f"request id {self._seq}"
+                f"request id {expect}"
             )
         return response
+
+    @property
+    def in_flight(self) -> int:
+        """Number of sent requests whose responses are still unread."""
+        return len(self._pending)
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one op and return the matching response."""
+        seq = self.send(op, **fields)
+        self.flush()
+        return self.recv(seq)
 
     def check(self, op: str, **fields: Any) -> Dict[str, Any]:
         """Like :meth:`request` but raises on ``ok: false`` responses."""
@@ -237,6 +277,7 @@ class LoadSummary:
     errors: int = 0
     seconds: float = 0.0
     live_at_end: int = 0
+    pipeline: int = 1
     server_stats: Dict[str, Any] = field(default_factory=dict)
 
     def ops_per_second(self) -> float:
@@ -255,6 +296,7 @@ class LoadSummary:
             "seconds": round(self.seconds, 3),
             "ops_per_second": round(self.ops_per_second(), 1),
             "live_at_end": self.live_at_end,
+            "pipeline": self.pipeline,
             "server_stats": self.server_stats,
         }
 
@@ -266,39 +308,74 @@ def run_load(
     seed: int = 0,
     target_live: int = 40,
     batch_size: int = 1,
+    pipeline: int = 1,
 ) -> LoadSummary:
     """Replay seeded admit/release churn through an open client.
 
     Below ``target_live`` admitted streams the generator mostly admits;
     above it, it mostly releases — holding occupancy near the target,
     which is where admission decisions are non-trivial.
+
+    ``pipeline`` is the number of requests kept in flight: 1 (default)
+    is the classic closed loop — send, wait, repeat — and reproduces the
+    exact request sequence of earlier versions; larger windows keep the
+    server's request-batching worker fed instead of letting the
+    connection go idle for a round trip per op. Admit/release decisions
+    then steer by the *estimated* live count (confirmed live streams —
+    which in-flight releases already left — plus in-flight admits), and
+    only confirmed ids are ever released, so the workload stays
+    well-formed at any depth.
     """
     rng = random.Random(seed)
     hello = client.check("hello")
     nodes = int(hello["nodes"])
     live: List[int] = []
     summary = LoadSummary()
-    t0 = time.perf_counter()
-    for _ in range(ops):
-        admit = (len(live) < target_live
-                 if rng.random() < 0.8 else len(live) >= target_live)
-        if admit or not live:
-            specs = [churn_spec(rng, nodes)
-                     for _ in range(max(1, batch_size))]
-            response = client.request("admit", streams=specs)
-            summary.admits_tried += 1
-            if response.get("ok") and response.get("admitted"):
-                summary.admits_accepted += 1
-                live.extend(response["ids"])
+    pipeline = max(1, int(pipeline))
+    summary.pipeline = pipeline
+    batch = max(1, batch_size)
+    window: Deque[Tuple[int, str]] = deque()  # (seq, "admit"|"release")
+    in_flight = {"admit": 0, "release": 0}  # release kept for introspection
+
+    def settle(limit: int) -> None:
+        """Absorb responses until at most ``limit`` remain in flight."""
+        while len(window) > limit:
+            seq, kind = window.popleft()
+            response = client.recv(seq)
+            in_flight[kind] -= 1
+            if kind == "admit":
+                if response.get("ok") and response.get("admitted"):
+                    summary.admits_accepted += 1
+                    live.extend(response["ids"])
+                elif not response.get("ok"):
+                    summary.errors += 1
             elif not response.get("ok"):
                 summary.errors += 1
+
+    t0 = time.perf_counter()
+    for _ in range(ops):
+        # Released ids leave `live` at send time (the pop below), so
+        # in-flight releases are already accounted for — only unconfirmed
+        # admits need adding on top.
+        est_live = len(live) + in_flight["admit"] * batch
+        admit = (est_live < target_live
+                 if rng.random() < 0.8 else est_live >= target_live)
+        if admit or not live:
+            specs = [churn_spec(rng, nodes) for _ in range(batch)]
+            seq = client.send("admit", streams=specs)
+            summary.admits_tried += 1
+            window.append((seq, "admit"))
+            in_flight["admit"] += 1
         else:
             sid = live.pop(rng.randrange(len(live)))
-            response = client.request("release", ids=[sid])
+            seq = client.send("release", ids=[sid])
             summary.releases += 1
-            if not response.get("ok"):
-                summary.errors += 1
+            window.append((seq, "release"))
+            in_flight["release"] += 1
         summary.ops += 1
+        client.flush()
+        settle(pipeline - 1)
+    settle(0)
     summary.seconds = time.perf_counter() - t0
     summary.live_at_end = len(live)
     stats = client.request("stats")

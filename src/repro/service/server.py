@@ -503,7 +503,11 @@ class BrokerServer:
             ("releases", "Release operations."),
             ("verdicts_recomputed", "Per-stream verdicts recomputed."),
             ("verdicts_reused", "Per-stream verdicts served from cache."),
-            ("hp_rebuilt", "HP sets rebuilt."),
+            ("verdict_memo_hits", "Verdicts served from the input-keyed "
+                                  "memo without recomputation."),
+            ("hp_rebuilt", "HP sets rebuilt by graph traversal."),
+            ("hp_delta_updates", "HP sets produced from maintained reach "
+                                 "closures (delta path)."),
             ("full_fallbacks", "Incremental ops that fell back to a full "
                                "rebuild."),
             ("forced_invalidations", "Forced cache invalidations "
@@ -531,6 +535,12 @@ class BrokerServer:
             "repro_engine_dirty_frontier_max",
             "Largest dirty frontier seen.",
         ).set(es.dirty_max)
+        for phase in ("route", "hp", "diagram", "verdict"):
+            reg.counter(
+                f"repro_engine_{phase}_seconds_total",
+                f"Wall-clock seconds spent in the {phase} phase of the "
+                "admission hot path.",
+            ).value = float(getattr(es, f"{phase}_seconds"))
         return reg.render()
 
     # ------------------------------------------------------------------ #

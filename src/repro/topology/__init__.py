@@ -18,9 +18,17 @@ from .routing import (
     channel_dependency_graph,
     is_deadlock_free,
 )
+from .route_table import (
+    RouteTable,
+    clear_shared_route_tables,
+    shared_route_table,
+)
 from .torus import Torus
 
 __all__ = [
+    "RouteTable",
+    "shared_route_table",
+    "clear_shared_route_tables",
     "Channel",
     "Topology",
     "Mesh",

@@ -58,6 +58,21 @@ class Topology(ABC):
     def neighbors(self, node: int) -> Sequence[int]:
         """Return the nodes adjacent to ``node`` (order is deterministic)."""
 
+    def signature(self) -> Tuple:
+        """Return a structural identity key for the topology.
+
+        Two topologies with equal signatures have identical node sets,
+        channel sets and coordinate systems, so any deterministic routing
+        function of the same class produces identical routes on them —
+        the key the shared route table of
+        :mod:`repro.topology.route_table` memoises under. The default
+        ``(class name, num_nodes)`` is sufficient for topologies fully
+        determined by their node count (e.g. hypercubes); subclasses
+        with extra shape parameters must override (meshes key on their
+        dimension extents).
+        """
+        return (type(self).__name__, self.num_nodes)
+
     def channels(self) -> Iterator[Channel]:
         """Yield every directed channel ``(u, v)`` in the network."""
         for u in self.nodes():

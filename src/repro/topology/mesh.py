@@ -57,6 +57,12 @@ class Mesh(Topology):
             s *= d
         return s
 
+    def signature(self) -> Tuple:
+        # num_nodes alone is ambiguous for meshes (3x4 vs 4x3): key on
+        # the ordered extents. Torus inherits this — the class name in
+        # the key separates wrap-around from plain meshes.
+        return (type(self).__name__, self.dims)
+
     # ------------------------------------------------------------------ #
     # Coordinates
     # ------------------------------------------------------------------ #

@@ -1,0 +1,220 @@
+"""The PR 6 admission fast path: every shortcut must be invisible.
+
+Four optimisation layers ride the admission path — shared route tables,
+reach-delta HP maintenance, process-pool verdict recomputation and the
+adaptive-horizon diagram kernel — and each has an escape hatch. These
+tests pin the only contract any of them is allowed to have: the observed
+decisions and report specs are byte-identical with every combination of
+knobs, including after a chaos ``cache_storm``, and the fill kernels
+agree bit for bit with the paper's literal scan.
+"""
+
+import hashlib
+import json
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis.parallel import shutdown_verdict_pool
+from repro.core.feasibility import FeasibilityAnalyzer
+from repro.core.kernel import (
+    active_kernel,
+    fill_masks_numpy,
+    fill_masks_scan,
+    select_kernel,
+    window_arrays,
+)
+from repro.core.streams import MessageStream
+from repro.io import report_to_spec
+from repro.service.engine import IncrementalAdmissionEngine
+from repro.topology.mesh import Mesh2D
+from repro.topology.route_table import (
+    clear_shared_route_tables,
+    shared_route_table,
+)
+from repro.topology.routing import XYRouting
+from tests.test_properties import XY, stream_sets
+
+MESH_W = MESH_H = 6
+
+
+def fuzz_trace(seed=0, ops=220, target_live=12):
+    """A deterministic admit/release churn trace on the 6x6 mesh."""
+    mesh = Mesh2D(MESH_W, MESH_H)
+    rng = random.Random(seed)
+
+    def draw(sid):
+        while True:
+            src = rng.randrange(mesh.num_nodes)
+            dst = rng.randrange(mesh.num_nodes)
+            if src != dst:
+                break
+        period = rng.randint(40, 200)
+        return MessageStream(
+            sid, src, dst,
+            priority=rng.randint(1, 8), period=period,
+            length=rng.randint(1, 6),
+            deadline=rng.randint(period // 4, period),
+        )
+
+    trace, live, next_id = [], [], 0
+    for _ in range(ops):
+        if live and (len(live) >= target_live or rng.random() < 0.5):
+            trace.append(("release", live.pop(rng.randrange(len(live)))))
+        else:
+            trace.append(("admit", draw(next_id)))
+            live.append(next_id)
+            next_id += 1
+    return trace
+
+
+def replay_digest(engine, trace):
+    """Replay the trace; return a SHA-256 over every decision + report."""
+    h = hashlib.sha256()
+    for op, payload in trace:
+        if op == "admit":
+            d = engine.try_admit(payload)
+            h.update(json.dumps(
+                ["admit", payload.stream_id, d.admitted,
+                 list(d.violations), report_to_spec(d.report)],
+                sort_keys=True,
+            ).encode())
+        elif payload in engine.admitted:
+            engine.release(payload)
+            h.update(json.dumps(
+                ["release", payload,
+                 report_to_spec(engine.current_report())],
+                sort_keys=True,
+            ).encode())
+    return h.hexdigest()
+
+
+def fresh_engine(**kwargs):
+    clear_shared_route_tables()
+    return IncrementalAdmissionEngine(
+        XYRouting(Mesh2D(MESH_W, MESH_H)), **kwargs
+    )
+
+
+class TestParallelVerdictsIdentity:
+    def test_pool_and_serial_reports_share_one_sha(self, monkeypatch):
+        """200+ fuzzed ops: a 2-process pool forced onto every refresh
+        (threshold 1) must reproduce the serial engine byte for byte."""
+        monkeypatch.setenv("REPRO_ANALYSIS_THRESHOLD", "1")
+        trace = fuzz_trace(seed=7)
+        assert len(trace) >= 200
+        try:
+            parallel = replay_digest(fresh_engine(processes=2), trace)
+        finally:
+            shutdown_verdict_pool()
+        monkeypatch.delenv("REPRO_ANALYSIS_THRESHOLD")
+        serial = replay_digest(fresh_engine(processes=0), trace)
+        assert parallel == serial
+
+
+class TestKnobByteIdentity:
+    def test_every_escape_hatch_reproduces_the_default(self):
+        trace = fuzz_trace(seed=3)
+        baseline = replay_digest(fresh_engine(), trace)
+        for kwargs in (
+            {"incremental_hp": False},   # REPRO_INCREMENTAL_HP=0
+            {"incremental": False},      # full reanalysis per op
+            {"processes": 0},            # REPRO_ANALYSIS_PROCS=0
+        ):
+            assert replay_digest(fresh_engine(**kwargs), trace) == baseline
+
+
+class TestCacheStorm:
+    def test_storm_recovers_bit_identical_and_rewarms(self):
+        trace = fuzz_trace(seed=11, ops=120)
+        engine = fresh_engine()
+        for op, payload in trace:
+            if op == "admit":
+                engine.try_admit(payload)
+            elif payload in engine.admitted:
+                engine.release(payload)
+        before = report_to_spec(engine.current_report())
+        table = shared_route_table(engine.routing)
+        assert len(table) > 0
+        for _ in range(3):
+            engine.invalidate_caches()
+            assert report_to_spec(engine.current_report()) == before
+        # The storm rebuilt routes through the cleared table.
+        assert len(table) > 0
+        assert engine.stats.forced_invalidations == 3
+
+
+class TestKernelParity:
+    def test_scan_and_numpy_agree_on_fuzzed_rows(self):
+        rng = random.Random(0)
+        for _ in range(300):
+            dtime = rng.randint(4, 160)
+            period = rng.randint(2, dtime)
+            length = rng.randint(1, 6)
+            busy = np.zeros(dtime + 1, dtype=bool)
+            for t in range(1, dtime + 1):
+                busy[t] = rng.random() < rng.choice((0.1, 0.5, 0.9))
+            starts, win = window_arrays(period, dtime)
+            ref = fill_masks_scan(busy.copy(), period, length, len(starts))
+            got = fill_masks_numpy(busy.copy(), period, length, starts, win)
+            # Cached-wstart fast path must be indistinguishable.
+            cached = fill_masks_numpy(
+                busy.copy(), period, length, starts, win, starts[win]
+            )
+            for a, b in zip(ref, got):
+                np.testing.assert_array_equal(a, b)
+            for a, b in zip(got, cached):
+                np.testing.assert_array_equal(a, b)
+
+    def test_numba_fallback_warns_and_stays_numpy(self):
+        try:
+            import numba  # noqa: F401
+            pytest.skip("numba installed; fallback path not reachable")
+        except ImportError:
+            pass
+        try:
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                assert select_kernel("numba") == "numpy"
+            assert active_kernel() == "numpy"
+        finally:
+            select_kernel("numpy")
+
+
+class TestAdaptiveHorizon:
+    @given(streams=stream_sets(max_streams=6))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_adaptive_equals_deadline_horizon(self, streams):
+        for use_modify in (True, False):
+            an = FeasibilityAnalyzer(streams, XY, use_modify=use_modify)
+            for s in an.streams:
+                fast = an.cal_u(s.stream_id)
+                slow = an.cal_u(s.stream_id, horizon=s.deadline)
+                assert fast.upper_bound == slow.upper_bound
+                assert fast.feasible == slow.feasible
+                assert fast.horizon == s.deadline
+
+
+class TestPhaseTimings:
+    def test_stats_break_down_the_admission_path(self):
+        trace = fuzz_trace(seed=5, ops=80)
+        engine = fresh_engine()
+        for op, payload in trace:
+            if op == "admit":
+                engine.try_admit(payload)
+            elif payload in engine.admitted:
+                engine.release(payload)
+        st = engine.stats.to_dict()
+        assert st["hp_delta_updates"] > 0
+        # Full rebuilds happen only on fallback transitions (e.g. the
+        # first admit into an empty set); deltas must dominate.
+        assert st["hp_delta_updates"] > st["hp_rebuilt"]
+        assert st["route_cache_misses"] <= len({
+            (p.src, p.dst) for op, p in trace if op == "admit"
+        })
+        for phase in ("route_seconds", "hp_seconds",
+                      "diagram_seconds", "verdict_seconds"):
+            assert st[phase] >= 0.0
+        assert st["verdict_seconds"] >= st["diagram_seconds"]

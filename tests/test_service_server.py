@@ -466,6 +466,25 @@ class TestAsyncFrontEnd:
         recovered = BrokerServer(MESH, state_dir=tmp_path / "state")
         assert len(recovered.engine.admitted) == summary.live_at_end
 
+    def test_pipelined_load_generator(self, tmp_path):
+        # Eight requests in flight: the workload must stay well-formed
+        # (no errors, only confirmed ids released) and the client must
+        # drain its window so the final live count matches the server's.
+        def client(sock):
+            with BrokerClient.wait_for_unix(sock) as c:
+                summary = run_load(c, ops=80, seed=4, target_live=10,
+                                   pipeline=8)
+                report = c.check("report")
+                c.check("shutdown")
+                return {"summary": summary, "report": report}
+
+        result = self._run(client, tmp_path)
+        summary = result["summary"]
+        assert summary.pipeline == 8
+        assert summary.ops == 80 and summary.errors == 0
+        assert summary.admits_accepted > 0 and summary.releases > 0
+        assert result["report"]["admitted"] == summary.live_at_end
+
 
 class TestChurnSpec:
     def test_specs_are_valid(self):
