@@ -39,6 +39,7 @@ from .core import (
     AdmissionController,
     AdmissionDecision,
     BlockingMode,
+    BoundBackend,
     CellState,
     FeasibilityAnalyzer,
     FeasibilityReport,
@@ -50,7 +51,10 @@ from .core import (
     StreamSet,
     StreamVerdict,
     TimingDiagram,
+    backend_names,
     build_all_hp_sets,
+    default_backend_name,
+    get_backend,
     generate_init_diagram,
     modify_diagram,
     render_bdg,
@@ -110,6 +114,10 @@ __all__ = [
     "FeasibilityAnalyzer",
     "FeasibilityReport",
     "StreamVerdict",
+    "BoundBackend",
+    "get_backend",
+    "backend_names",
+    "default_backend_name",
     "AdmissionController",
     "AdmissionDecision",
     "render_diagram",

@@ -123,6 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("file", help="JSON problem description")
     p_check.add_argument("--out", default=None,
                          help="write the report as JSON to this path")
+    p_check.add_argument("--analysis", default=None, metavar="BACKEND",
+                         help="bound backend (kim98/tighter/buffered; "
+                              "default: REPRO_ANALYSIS_BACKEND or kim98); "
+                              "unknown names exit 2")
 
     p_explain = sub.add_parser(
         "explain",
@@ -135,6 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="emit the explanation as JSON")
     p_explain.add_argument("--no-diagram", action="store_true",
                            help="skip the annotated timing diagram")
+    p_explain.add_argument("--analysis", default=None, metavar="BACKEND",
+                           help="bound backend to explain under "
+                                "(default: REPRO_ANALYSIS_BACKEND or kim98)")
 
     p_trace = sub.add_parser(
         "trace", help="convert a JSONL trace to Chrome trace format"
@@ -197,6 +204,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "(same as REPRO_INCREMENTAL=0)")
     p_serve.add_argument("--residency-margin", type=int, default=0,
                          help="analysis residency margin (default 0)")
+    p_serve.add_argument("--analysis", default=None, metavar="BACKEND",
+                         help="engine-default bound backend for admits "
+                              "that do not name one (default: "
+                              "REPRO_ANALYSIS_BACKEND or kim98)")
     p_serve.add_argument("--batch-max", type=int, default=64,
                          help="max requests drained per worker wakeup")
     p_serve.add_argument("--metrics-port", type=int, default=None,
@@ -338,9 +349,16 @@ def _run_inversion() -> int:
     return 0
 
 
-def _run_check(path: str, out: Optional[str] = None) -> int:
+def _run_check(
+    path: str, out: Optional[str] = None, analysis: Optional[str] = None
+) -> int:
+    from .core.backends import get as get_backend, resolve_name
     from .io import load_problem, report_to_spec
 
+    # Validated before any file I/O: an unknown --analysis must exit 2
+    # (invalid input), never silently fall back to kim98. get/resolve
+    # raise AnalysisError, which main() maps to exit code 2.
+    backend = get_backend(resolve_name(analysis))
     try:
         topology, routing, streams = load_problem(path)
     except FileNotFoundError:
@@ -349,7 +367,7 @@ def _run_check(path: str, out: Optional[str] = None) -> int:
     except json.JSONDecodeError as exc:
         print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
         return 3
-    report = FeasibilityAnalyzer(streams, routing).determine_feasibility()
+    report = backend.analyzer(streams, routing).determine_feasibility()
     if out:
         import pathlib
 
@@ -360,14 +378,17 @@ def _run_check(path: str, out: Optional[str] = None) -> int:
         mark = "ok  " if verdict.feasible else "MISS"
         print(f"  M{sid}: U={verdict.upper_bound:>5}  "
               f"D={verdict.stream.deadline:>5}  {mark}")
-    print("feasible" if report.success else "infeasible")
+    print(f"{'feasible' if report.success else 'infeasible'} "
+          f"({backend.name})")
     return 0 if report.success else 1
 
 
 def _run_explain(args: argparse.Namespace) -> int:
+    from .core.backends import get as get_backend, resolve_name
     from .io import load_problem
     from .obs.provenance import explain_stream, render_explanation
 
+    backend = get_backend(resolve_name(args.analysis))
     try:
         topology, routing, streams = load_problem(args.file)
     except FileNotFoundError:
@@ -381,7 +402,7 @@ def _run_explain(args: argparse.Namespace) -> int:
         print(f"error: no stream {args.stream} in {args.file} "
               f"(streams: {known})", file=sys.stderr)
         return 2
-    analyzer = FeasibilityAnalyzer(streams, routing)
+    analyzer = backend.analyzer(streams, routing)
     explanation = explain_stream(analyzer, args.stream)
     if args.json:
         print(json.dumps(explanation.to_spec(), indent=2))
@@ -492,6 +513,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         _serve_topology_spec(args),
         state_dir=args.state_dir,
         residency_margin=args.residency_margin,
+        analysis=args.analysis,
         incremental=False if args.no_incremental else None,
         batch_max=args.batch_max,
     )
@@ -610,7 +632,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "inversion":
             return _run_inversion()
         if args.command == "check":
-            return _run_check(args.file, args.out)
+            return _run_check(args.file, args.out, args.analysis)
         if args.command == "explain":
             return _run_explain(args)
         if args.command == "trace":

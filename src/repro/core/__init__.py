@@ -9,6 +9,14 @@ rendering (:mod:`.render`).
 """
 
 from .admission import AdmissionController, AdmissionDecision
+from .backends import (
+    BoundBackend,
+    default_name as default_backend_name,
+    get as get_backend,
+    names as backend_names,
+    register as register_backend,
+    temporary_backend,
+)
 from .assignment import (
     audsley_assignment,
     deadline_monotonic_assignment,
@@ -69,6 +77,12 @@ __all__ = [
     "FeasibilityAnalyzer",
     "FeasibilityReport",
     "StreamVerdict",
+    "BoundBackend",
+    "get_backend",
+    "backend_names",
+    "register_backend",
+    "default_backend_name",
+    "temporary_backend",
     "BusyWindowResult",
     "busy_window_bound",
     "busy_window_bounds",

@@ -58,6 +58,9 @@ class StreamVerdict:
     removed_instances: Mapping[int, FrozenSet[int]] = field(
         default_factory=dict
     )
+    #: Name of the bound backend that produced this verdict (see
+    #: :mod:`repro.core.backends`).
+    backend: str = "kim98"
 
     @property
     def slack(self) -> Optional[int]:
@@ -141,6 +144,30 @@ class FeasibilityAnalyzer:
         eliminated every observed violation. Default 0 = the paper's
         analysis, empirically unsound by one slot under equal-priority
         contention.
+    interference_margin:
+        Extra slots charged per instance of **every** HP member — the
+        ``buffered`` backend's generalisation of ``residency_margin`` to
+        all interference: router buffering and backpressure keep a worm
+        resident on contested channels beyond its nominal ``C`` slots
+        (the effect arXiv:1606.02942 analyses). Strictly pessimistic, so
+        bounds grow monotonically with the margin. Default 0.
+    eqp_instance_cap:
+        Apply the ``tighter`` backend's FCFS refinement: a *direct*
+        equal-priority member can block the analysed stream at most once
+        per shared channel, because equal-priority arbitration is
+        first-come-first-served on message release time — once the
+        analysed header waits at a channel, a later-released instance
+        cannot overtake it, and closure feasibility (``U <= T``) rules
+        out backlogged earlier-released instances. A member only
+        qualifies when no third stream at the same priority shares any
+        of its channels: chain-mediated re-blocking through an
+        equal-priority convoy defeats the argument otherwise. Qualified
+        members have their window instances beyond the cap discharged
+        from the diagram before any release decision. Default off (= the
+        paper's charging).
+    backend:
+        Label stamped into every :class:`StreamVerdict` (reports carry it
+        through the service and CLI). Purely descriptive.
     """
 
     #: Optional per-phase timing sink (any object with a mutable
@@ -163,12 +190,22 @@ class FeasibilityAnalyzer:
         modify_fixpoint: bool = False,
         modify_granularity: str = "instance",
         residency_margin: int = 0,
+        interference_margin: int = 0,
+        eqp_instance_cap: bool = False,
+        backend: str = "kim98",
     ):
         if residency_margin < 0:
             raise AnalysisError(
                 f"residency_margin must be >= 0, got {residency_margin}"
             )
+        if interference_margin < 0:
+            raise AnalysisError(
+                f"interference_margin must be >= 0, got {interference_margin}"
+            )
         self.residency_margin = residency_margin
+        self.interference_margin = interference_margin
+        self.eqp_instance_cap = eqp_instance_cap
+        self.backend = backend
         if len(streams) == 0:
             raise AnalysisError("cannot analyse an empty stream set")
         if routing is None and channels is None:
@@ -229,6 +266,9 @@ class FeasibilityAnalyzer:
         modify_fixpoint: bool = False,
         modify_granularity: str = "instance",
         residency_margin: int = 0,
+        interference_margin: int = 0,
+        eqp_instance_cap: bool = False,
+        backend: str = "kim98",
     ) -> "FeasibilityAnalyzer":
         """Build an analyzer from precomputed per-stream structures.
 
@@ -268,8 +308,15 @@ class FeasibilityAnalyzer:
             raise AnalysisError(
                 f"residency_margin must be >= 0, got {residency_margin}"
             )
+        if interference_margin < 0:
+            raise AnalysisError(
+                f"interference_margin must be >= 0, got {interference_margin}"
+            )
         self = cls.__new__(cls)
         self.residency_margin = residency_margin
+        self.interference_margin = interference_margin
+        self.eqp_instance_cap = eqp_instance_cap
+        self.backend = backend
         self.routing = routing
         self.latency_model = latency_model or NoLoadLatency()
         self.use_modify = use_modify
@@ -303,6 +350,7 @@ class FeasibilityAnalyzer:
         if apply_modify is None:
             apply_modify = self.use_modify
         effective = self._effective_streams(stream)
+        seeds = self._cap_seeds(stream, dtime)
         if apply_modify and hp.indirect_ids():
             return modify_diagram(
                 stream,
@@ -312,6 +360,7 @@ class FeasibilityAnalyzer:
                 dtime,
                 fixpoint=self.modify_fixpoint,
                 granularity=self.modify_granularity,
+                initial_removed=seeds,
             )
         rows = tuple(
             sorted(
@@ -321,8 +370,8 @@ class FeasibilityAnalyzer:
             )
         )
         return (
-            generate_init_diagram(stream_id, rows, dtime),
-            {},
+            generate_init_diagram(stream_id, rows, dtime, removed=seeds),
+            {k: set(v) for k, v in seeds.items()} if seeds else {},
         )
 
     def _effective_streams(self, owner: MessageStream) -> StreamSet:
@@ -331,29 +380,73 @@ class FeasibilityAnalyzer:
         With a positive ``residency_margin``, equal-priority members have
         their length raised by the margin — charging the extra VC-residency
         slot(s) a same-priority worm costs beyond its channel occupancy.
+        A positive ``interference_margin`` (the ``buffered`` backend)
+        additionally raises **every** member's length, charging the
+        buffering/backpressure residency on contested channels; the two
+        margins stack for equal-priority members.
         """
-        if self.residency_margin == 0:
+        if self.residency_margin == 0 and self.interference_margin == 0:
             return self.streams
         hp = self.hp_sets[owner.stream_id]
-        inflate = {
-            e.stream_id
-            for e in hp
-            if e.stream_id != owner.stream_id
-            and self.streams[e.stream_id].priority == owner.priority
-        }
+        inflate: Dict[int, int] = {}
+        for e in hp:
+            if e.stream_id == owner.stream_id:
+                continue
+            margin = self.interference_margin
+            if (self.residency_margin
+                    and self.streams[e.stream_id].priority == owner.priority):
+                margin += self.residency_margin
+            if margin:
+                inflate[e.stream_id] = margin
         if not inflate:
             return self.streams
         effective = StreamSet()
         for s in self.streams:
-            if s.stream_id in inflate:
+            margin = inflate.get(s.stream_id)
+            if margin:
                 effective.add(
-                    dataclasses.replace(
-                        s, length=s.length + self.residency_margin
-                    )
+                    dataclasses.replace(s, length=s.length + margin)
                 )
             else:
                 effective.add(s)
         return effective
+
+    def _cap_seeds(
+        self, owner: MessageStream, dtime: int
+    ) -> Optional[Dict[int, Set[int]]]:
+        """Window instances discharged by the FCFS equal-priority cap.
+
+        For each *qualified* direct equal-priority member (no third stream
+        at the owner's priority shares any of its channels), every window
+        instance beyond one per shared channel is discharged: FCFS
+        arbitration on release time means a later-released equal-priority
+        instance cannot overtake the owner's waiting header, and closure
+        feasibility rules out backlog, so at most one instance can hold
+        each shared channel when the header arrives there.
+        """
+        if not self.eqp_instance_cap:
+            return None
+        sid = owner.stream_id
+        hp = self.hp_sets[sid]
+        own_channels = self.channels[sid]
+        seeds: Dict[int, Set[int]] = {}
+        for e in hp:
+            b = e.stream_id
+            if b == sid or not e.is_direct:
+                continue
+            member = self.streams[b]
+            if member.priority != owner.priority:
+                continue
+            if any(
+                k != sid and self.streams[k].priority == owner.priority
+                for k in self.blockers[b]
+            ):
+                continue  # an equal-priority convoy defeats the argument
+            cap = len(own_channels & self.channels[b])
+            n_windows = -(-dtime // member.period)  # ceil
+            if cap < n_windows:
+                seeds[b] = set(range(cap, n_windows))
+        return seeds or None
 
     def cal_u(
         self, stream_id: int, horizon: Optional[int] = None
@@ -393,6 +486,7 @@ class FeasibilityAnalyzer:
             removed_instances={
                 k: frozenset(v) for k, v in removed.items()
             },
+            backend=self.backend,
         )
 
     def _cal_u_adaptive(self, stream: MessageStream) -> StreamVerdict:
@@ -460,6 +554,7 @@ class FeasibilityAnalyzer:
             removed_instances={
                 k: frozenset(v) for k, v in removed.items()
             },
+            backend=self.backend,
         )
 
     def upper_bound(

@@ -44,7 +44,7 @@ matching the paper's in-degree-counted BFS walk.
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, Mapping, Set, Tuple
+from typing import AbstractSet, Dict, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
@@ -127,6 +127,7 @@ def modify_diagram(
     fixpoint: bool = False,
     granularity: str = "instance",
     max_passes: int = 16,
+    initial_removed: Optional[Mapping[int, AbstractSet[int]]] = None,
 ) -> Tuple[TimingDiagram, Dict[int, Set[int]]]:
     """Run ``Modify_Diagram``: release indirect interference and re-compact.
 
@@ -151,6 +152,12 @@ def modify_diagram(
         (the paper's literal prose) — see the module docstring.
     max_passes:
         Safety cap on fixpoint sweeps.
+    initial_removed:
+        Instances excluded from the diagram *before* any release decision
+        (``stream_id -> instance indices``). Backends that discharge part
+        of a member's demand analytically (e.g. the FCFS equal-priority
+        instance cap of the ``tighter`` backend) seed the exclusion here;
+        the returned map includes these seeds alongside genuine releases.
 
     Returns
     -------
@@ -163,6 +170,11 @@ def modify_diagram(
         raise AnalysisError(
             f"granularity must be 'instance' or 'slot', got {granularity!r}"
         )
+    if initial_removed and granularity != "instance":
+        raise AnalysisError(
+            "initial_removed requires instance granularity (the seeds are "
+            "instance indices, not slots)"
+        )
     row_streams = tuple(
         sorted(
             (streams[e.stream_id] for e in hp if e.stream_id != owner.stream_id),
@@ -170,6 +182,10 @@ def modify_diagram(
         )
     )
     removed: Dict[int, Set[int]] = {}
+    if initial_removed:
+        for sid, idxs in initial_removed.items():
+            if idxs:
+                removed[sid] = set(idxs)
     # Hot path (once per Cal_U): guard the span explicitly so the
     # disabled cost is one call and a None test.
     tr = _trace_active()

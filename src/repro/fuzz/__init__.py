@@ -6,8 +6,11 @@ EXPERIMENTS.md, section "Soundness fuzzing"):
 
 * :mod:`repro.fuzz.generator` — seeded random cases with adversarial
   presets (deep blocking chains, hotspots, funnels);
-* :mod:`repro.fuzz.oracle` — per-case invariants: analysis determinism,
-  fast-path/reference-path bit-identity, ``U_i`` soundness;
+* :mod:`repro.fuzz.oracle` — per-case invariants, run for *every*
+  registered bound backend: analysis determinism (pinned per-backend
+  verdict digests), fast-path/reference-path bit-identity, per-backend
+  ``U_i`` soundness, and refinement monotonicity (a backend declaring
+  ``refines`` never rejects what its reference admits);
 * :mod:`repro.fuzz.shrink` — greedy counterexample minimisation;
 * :mod:`repro.fuzz.corpus` — JSON persistence and deterministic replay;
 * :mod:`repro.fuzz.campaign` — parallel, time-boxable campaign driver and
@@ -25,7 +28,13 @@ from .campaign import (
 )
 from .corpus import ReplayResult, load_counterexample, replay, write_counterexample
 from .generator import PRESETS, FuzzCase, FuzzStream, GeneratorConfig, generate_case
-from .oracle import CaseResult, FuzzViolation, run_case, stats_fingerprint
+from .oracle import (
+    CaseResult,
+    FuzzViolation,
+    bounds_digest,
+    run_case,
+    stats_fingerprint,
+)
 from .shrink import ShrinkResult, shrink_case
 
 __all__ = [
@@ -38,6 +47,7 @@ __all__ = [
     "FuzzViolation",
     "run_case",
     "stats_fingerprint",
+    "bounds_digest",
     "ShrinkResult",
     "shrink_case",
     "ReplayResult",

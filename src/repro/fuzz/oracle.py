@@ -1,21 +1,35 @@
 """The differential oracle: run one case through analysis and simulation
 and check the reproduction's standing invariants.
 
+Every registered bound backend (:mod:`repro.core.backends`) runs on every
+case — the oracle is *cross-backend*: soundness is checked per backend
+against the same simulation, refinement relations are checked between
+backends, and each backend's verdict digest is pinned for determinism.
+
 For a :class:`~repro.fuzz.generator.FuzzCase` the oracle checks:
 
 ``nondeterminism``
     Two independently constructed analyzers must produce identical bounds
-    (the analysis is a pure function of the stream set).
+    — per backend (the analysis is a pure function of the stream set and
+    the backend's configuration). Each backend's canonical verdict digest
+    (sha256 over the sorted ``stream id -> U`` map) must be identical
+    across constructions.
+``monotonicity``
+    A backend that declares ``refines="X"`` (e.g. ``tighter`` refines
+    ``kim98``) must never be looser than ``X``: per stream its bound is
+    ``<=`` X's whenever X's is finite, and its admitted set is a superset
+    of X's — the tighter analysis never rejects a stream set the
+    reference admits.
 ``divergence``
     The event-driven fast path and the reference ``_step_slow`` loop must
     produce bit-identical statistics: same per-stream delay samples (in
     order), same transfer totals, same unfinished count.
 ``soundness``
-    For every stream the analysis *admits*, no simulated transmission
-    delay may exceed ``U_i``. Admission requires ``0 < U_i <= min(T_i,
-    D_i)`` for the stream itself AND for every member of its transitive
-    HP closure. Both halves scope the check to what the paper actually
-    claims:
+    For every stream a backend *admits*, no simulated transmission
+    delay may exceed that backend's ``U_i``. Admission requires ``0 <
+    U_i <= min(T_i, D_i)`` for the stream itself AND for every member of
+    its transitive HP closure. Both halves scope the check to what the
+    paper actually claims:
 
     * the ``min`` with the period keeps self-interference out: a stream
       whose bound exceeds its own period legitimately queues behind its
@@ -34,35 +48,49 @@ For a :class:`~repro.fuzz.generator.FuzzCase` the oracle checks:
     on any generated workload; X-Y routing is deadlock-free, so any raise
     is a model bug.
 
-A positive ``case.bound_delta`` weakens every admitted bound to
-``max(1, U_i - bound_delta)`` before the soundness comparison — the
-self-test hook that proves the harness can catch, shrink and replay a
-genuinely unsound analysis.
+A positive ``case.bound_delta`` weakens every admitted bound — of every
+backend — to ``max(1, U_i - bound_delta)`` before the soundness
+comparison: the self-test hook that proves the harness can catch, shrink
+and replay a genuinely unsound analysis, regardless of which backend it
+ships in.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from ..core.feasibility import FeasibilityAnalyzer
+from ..core import backends as _backends
 from ..errors import ReproError
 from ..sim.network import WormholeSimulator
 from ..sim.stats import StatsCollector
 from .generator import FuzzCase
 
-__all__ = ["FuzzViolation", "CaseResult", "run_case", "stats_fingerprint"]
+__all__ = [
+    "FuzzViolation",
+    "CaseResult",
+    "run_case",
+    "stats_fingerprint",
+    "bounds_digest",
+]
 
 
 @dataclass(frozen=True)
 class FuzzViolation:
     """One invariant violation observed while running a case."""
 
-    kind: str  # "soundness" | "divergence" | "nondeterminism" | "sim-error"
+    # "soundness" | "divergence" | "nondeterminism" | "sim-error"
+    # | "monotonicity"
+    kind: str
     detail: str
     stream_id: Optional[int] = None
     observed: Optional[int] = None
     bound: Optional[int] = None
+    #: Bound backend the violation is attributed to (``None`` for
+    #: backend-independent checks such as simulator divergence).
+    backend: Optional[str] = None
 
     def to_spec(self) -> Dict[str, object]:
         out: Dict[str, object] = {"kind": self.kind, "detail": self.detail}
@@ -72,6 +100,8 @@ class FuzzViolation:
             out["observed"] = self.observed
         if self.bound is not None:
             out["bound"] = self.bound
+        if self.backend is not None:
+            out["backend"] = self.backend
         return out
 
 
@@ -80,14 +110,23 @@ class CaseResult:
     """Everything the oracle learned about one case."""
 
     case: FuzzCase
-    #: Streams the analysis admits: finite bound within min(period,
-    #: deadline), for the stream and its whole transitive HP closure.
+    #: Streams the reference (kim98) analysis admits: finite bound within
+    #: min(period, deadline), for the stream and its whole transitive HP
+    #: closure.
     admitted: Tuple[int, ...]
-    #: Effective (possibly perturbed) bound per admitted stream.
+    #: Effective (possibly perturbed) kim98 bound per admitted stream.
     bounds: Dict[int, int]
     #: Maximum observed delay per stream that produced samples.
     max_observed: Dict[int, int]
     violations: Tuple[FuzzViolation, ...]
+    #: Raw bounds per registered backend (``backend name -> sid -> U``).
+    backend_bounds: Dict[str, Dict[int, int]] = field(default_factory=dict)
+    #: Admitted set per registered backend.
+    backend_admitted: Dict[str, Tuple[int, ...]] = field(
+        default_factory=dict
+    )
+    #: Canonical verdict digest per backend (sha256 hex).
+    digests: Dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -134,16 +173,28 @@ def _fingerprint_diff(a: Dict[str, object], b: Dict[str, object]) -> str:
     return "fingerprints differ in an unknown field"
 
 
+def bounds_digest(bounds: Dict[int, int]) -> str:
+    """Canonical sha256 digest of one backend's verdict map."""
+    canonical = json.dumps(
+        {str(sid): bounds[sid] for sid in sorted(bounds)},
+        separators=(",", ":"), sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def _analysis_bounds(
     case: FuzzCase,
+    backend: str = "kim98",
 ) -> Tuple[Dict[int, int], Dict[int, Tuple[int, ...]]]:
-    """One fresh analysis pass.
+    """One fresh analysis pass under ``backend``.
 
     Returns ``(stream id -> upper bound over the deadline horizon,
-    stream id -> HP-set member ids)``.
+    stream id -> HP-set member ids)``. The HP sets are backend
+    *independent* (they derive from routes and priorities alone); only
+    the bounds differ between backends.
     """
     _, routing, streams = case.build()
-    analyzer = FeasibilityAnalyzer(
+    analyzer = _backends.get(backend).analyzer(
         streams, routing, residency_margin=case.residency_margin
     )
     bounds = analyzer.determine_feasibility().upper_bounds()
@@ -187,30 +238,82 @@ def run_case(
     """Run the full differential pipeline on one case."""
     violations = []
 
-    # --- analysis (+ determinism) ------------------------------------- #
-    bounds_raw, hp_ids = _analysis_bounds(case)
+    # --- analysis: every registered backend (+ determinism) ------------ #
+    names = _backends.names()
+    backend_bounds: Dict[str, Dict[int, int]] = {}
+    digests: Dict[str, str] = {}
+    hp_ids: Dict[int, Tuple[int, ...]] = {}
+    for name in names:
+        bounds, hp = _analysis_bounds(case, name)
+        backend_bounds[name] = bounds
+        digests[name] = bounds_digest(bounds)
+        if not hp_ids:
+            hp_ids = hp
     for _ in range(max(0, analysis_repeats - 1)):
-        again, _ = _analysis_bounds(case)
-        if again != bounds_raw:
-            diff = sorted(
-                sid for sid in bounds_raw
-                if again.get(sid) != bounds_raw[sid]
-            )
-            violations.append(FuzzViolation(
-                kind="nondeterminism",
-                detail=(
-                    f"repeated analysis disagrees on streams {diff}: "
-                    f"{[bounds_raw[i] for i in diff]} vs "
-                    f"{[again.get(i) for i in diff]}"
-                ),
-            ))
+        for name in names:
+            again, _ = _analysis_bounds(case, name)
+            if bounds_digest(again) != digests[name]:
+                first = backend_bounds[name]
+                diff = sorted(
+                    sid for sid in first if again.get(sid) != first[sid]
+                )
+                violations.append(FuzzViolation(
+                    kind="nondeterminism",
+                    detail=(
+                        f"repeated {name} analysis disagrees on streams "
+                        f"{diff}: {[first[i] for i in diff]} vs "
+                        f"{[again.get(i) for i in diff]}"
+                    ),
+                    backend=name,
+                ))
+        if any(v.kind == "nondeterminism" for v in violations):
             break
 
     by_id = {s.stream_id: s for s in case.streams}
-    admitted = _admitted(case, bounds_raw, hp_ids)
+    backend_admitted = {
+        name: _admitted(case, backend_bounds[name], hp_ids)
+        for name in names
+    }
+    bounds_raw = backend_bounds.get("kim98", backend_bounds[names[0]])
+    admitted = backend_admitted.get("kim98", backend_admitted[names[0]])
     effective = {
         sid: max(1, bounds_raw[sid] - case.bound_delta) for sid in admitted
     }
+
+    # --- refinement monotonicity --------------------------------------- #
+    for name in names:
+        ref = _backends.get(name).refines
+        if ref is None or ref not in backend_bounds:
+            continue
+        ref_bounds, own_bounds = backend_bounds[ref], backend_bounds[name]
+        for sid in sorted(ref_bounds):
+            u_ref, u_own = ref_bounds[sid], own_bounds.get(sid)
+            if u_ref > 0 and u_own is not None and (
+                u_own < 0 or u_own > u_ref
+            ):
+                violations.append(FuzzViolation(
+                    kind="monotonicity",
+                    detail=(
+                        f"{name} bound {u_own} for stream {sid} is looser "
+                        f"than {ref} bound {u_ref}"
+                    ),
+                    stream_id=sid,
+                    bound=u_own,
+                    backend=name,
+                ))
+        lost = sorted(
+            set(backend_admitted[ref]) - set(backend_admitted[name])
+        )
+        if lost:
+            violations.append(FuzzViolation(
+                kind="monotonicity",
+                detail=(
+                    f"{name} rejects streams {lost} that {ref} admits "
+                    f"(admitted sets: {ref}={backend_admitted[ref]}, "
+                    f"{name}={backend_admitted[name]})"
+                ),
+                backend=name,
+            ))
 
     # --- simulation (fast path, + reference path) ---------------------- #
     phases = case.phases()
@@ -233,6 +336,8 @@ def run_case(
         return CaseResult(
             case=case, admitted=admitted, bounds=effective,
             max_observed={}, violations=tuple(violations),
+            backend_bounds=backend_bounds,
+            backend_admitted=backend_admitted, digests=digests,
         )
 
     fp_fast = stats_fingerprint(sim_fast, stats_fast)
@@ -256,30 +361,34 @@ def run_case(
                     ),
                 ))
 
-    # --- soundness ----------------------------------------------------- #
+    # --- soundness: every backend's admitted bounds dominate the sim --- #
     max_observed = {
         sid: max(samples)
         for sid, samples in fp_fast["samples"].items()  # type: ignore[union-attr]
         if samples
     }
-    for sid in admitted:
-        observed = max_observed.get(sid)
-        if observed is None:
-            continue
-        u = effective[sid]
-        if observed > u:
-            violations.append(FuzzViolation(
-                kind="soundness",
-                detail=(
-                    f"stream {sid} (P{by_id[sid].priority}) observed delay "
-                    f"{observed} exceeds bound {u}"
-                    + (f" (U={bounds_raw[sid]} perturbed by "
-                       f"-{case.bound_delta})" if case.bound_delta else "")
-                ),
-                stream_id=sid,
-                observed=observed,
-                bound=u,
-            ))
+    for name in names:
+        own_bounds = backend_bounds[name]
+        for sid in backend_admitted[name]:
+            observed = max_observed.get(sid)
+            if observed is None:
+                continue
+            u = max(1, own_bounds[sid] - case.bound_delta)
+            if observed > u:
+                violations.append(FuzzViolation(
+                    kind="soundness",
+                    detail=(
+                        f"[{name}] stream {sid} (P{by_id[sid].priority}) "
+                        f"observed delay {observed} exceeds bound {u}"
+                        + (f" (U={own_bounds[sid]} perturbed by "
+                           f"-{case.bound_delta})"
+                           if case.bound_delta else "")
+                    ),
+                    stream_id=sid,
+                    observed=observed,
+                    bound=u,
+                    backend=name,
+                ))
 
     return CaseResult(
         case=case,
@@ -287,4 +396,7 @@ def run_case(
         bounds=effective,
         max_observed=max_observed,
         violations=tuple(violations),
+        backend_bounds=backend_bounds,
+        backend_admitted=backend_admitted,
+        digests=digests,
     )

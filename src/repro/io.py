@@ -180,6 +180,7 @@ def report_to_spec(report: FeasibilityReport) -> Dict[str, Any]:
                 "deadline": v.stream.deadline,
                 "feasible": v.feasible,
                 "slack": v.slack,
+                "analysis": v.backend,
             }
             for sid, v in sorted(report.verdicts.items())
         },

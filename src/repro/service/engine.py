@@ -85,6 +85,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..analysis.parallel import map_verdicts, verdict_processes_default
+from ..core import backends as _backends
 from ..core.admission import AdmissionDecision
 from ..core.feasibility import (
     FeasibilityAnalyzer,
@@ -214,6 +215,13 @@ class IncrementalAdmissionEngine:
         Whether the analysis applies ``Modify_Diagram``.
     residency_margin:
         Passed through to the analyzer (see finding F-4).
+    analysis:
+        Name of the default bound backend
+        (:mod:`repro.core.backends`) applied to admits that do not name
+        one. ``None`` reads the process default, which honours the
+        ``REPRO_ANALYSIS_BACKEND`` environment variable. Per-request
+        backends ride on :meth:`try_admit`'s ``analysis`` keyword and
+        are remembered per stream until release.
     incremental:
         ``True``/``False`` force the mode; ``None`` (default) reads the
         ``REPRO_INCREMENTAL`` environment variable (unset/``1`` = on).
@@ -234,6 +242,7 @@ class IncrementalAdmissionEngine:
         latency_model: Optional[LatencyModel] = None,
         use_modify: bool = True,
         residency_margin: int = 0,
+        analysis: Optional[str] = None,
         incremental: Optional[bool] = None,
         incremental_hp: Optional[bool] = None,
         processes: Optional[int] = None,
@@ -242,6 +251,9 @@ class IncrementalAdmissionEngine:
         self.latency_model = latency_model or NoLoadLatency()
         self.use_modify = use_modify
         self.residency_margin = residency_margin
+        # Resolved eagerly so a typo'd REPRO_ANALYSIS_BACKEND fails at
+        # construction, not on the first admit.
+        self.default_analysis = _backends.resolve_name(analysis)
         if incremental is None:
             incremental = incremental_enabled_default()
         self.incremental = bool(incremental)
@@ -271,6 +283,8 @@ class IncrementalAdmissionEngine:
         self._hp_sets: Dict[int, HPSet] = {}
         self._verdicts: Dict[int, StreamVerdict] = {}
         self._verdict_memo: Dict[tuple, StreamVerdict] = {}
+        #: Per-stream bound-backend name (every admitted id has an entry).
+        self._analysis: Dict[int, str] = {}
 
     # ------------------------------------------------------------------ #
     # Public surface
@@ -347,6 +361,13 @@ class IncrementalAdmissionEngine:
             raise StreamError(f"no admitted stream with id {stream_id}")
         return self._verdicts[stream_id]
 
+    def analysis_of(self, stream_id: int) -> str:
+        """Return the bound-backend name an admitted stream was vetted
+        under (and will be re-vetted under on every later op)."""
+        if stream_id not in self._admitted:
+            raise StreamError(f"no admitted stream with id {stream_id}")
+        return self._analysis[stream_id]
+
     def current_report(self) -> FeasibilityReport:
         """Report over the admitted set, from cache (no recomputation).
 
@@ -357,14 +378,26 @@ class IncrementalAdmissionEngine:
         return self._report_from_cache()
 
     def try_admit(
-        self, requests: MessageStream | Iterable[MessageStream]
+        self,
+        requests: MessageStream | Iterable[MessageStream],
+        *,
+        analysis: Optional[str] = None,
     ) -> AdmissionDecision:
         """Test a request (stream or job batch) and admit it if feasible.
 
         All-or-nothing: rejection leaves the admitted set (and every
         cache) untouched, and an admitted stream can never break an
         existing guarantee — the trial covers the union.
+
+        ``analysis`` names the bound backend the new streams are vetted
+        under (``None`` = the engine default); it is validated before
+        anything is touched and remembered per stream, so later ops
+        re-vet each stream under its own backend.
         """
+        if analysis is None:
+            backend_name = self.default_analysis
+        else:
+            backend_name = _backends.get(analysis).name
         if isinstance(requests, MessageStream):
             requests = (requests,)
         requests = tuple(requests)
@@ -383,9 +416,9 @@ class IncrementalAdmissionEngine:
 
         self.stats.ops += 1
         if not self.incremental:
-            decision = self._full_admit(requests)
+            decision = self._full_admit(requests, backend_name)
         else:
-            decision = self._incremental_admit(requests)
+            decision = self._incremental_admit(requests, backend_name)
         if decision.admitted:
             self.stats.admits += 1
         else:
@@ -414,6 +447,7 @@ class IncrementalAdmissionEngine:
         if not self.incremental:
             for sid in ids:
                 self._admitted.remove(sid)
+                self._analysis.pop(sid, None)
             self._full_rebuild()
             return
         # Dirty set on the OLD graph: whoever could reach a removed id.
@@ -436,7 +470,7 @@ class IncrementalAdmissionEngine:
     # ------------------------------------------------------------------ #
 
     def _incremental_admit(
-        self, requests: Tuple[MessageStream, ...]
+        self, requests: Tuple[MessageStream, ...], backend_name: str
     ) -> AdmissionDecision:
         # No O(n) cache snapshot up front: the attach path keeps an undo
         # log of the reach entries it replaces, and the refresh path saves
@@ -445,6 +479,8 @@ class IncrementalAdmissionEngine:
         # inverse of attach) and restores only those saved entries.
         undo_reach: Dict[int, Optional[Set[int]]] = {}
         added = [r.stream_id for r in requests]
+        for sid in added:
+            self._analysis[sid] = backend_name
         dirty: Set[int] = set()
         for r in requests:
             dirty |= self._attach(r, undo_reach=undo_reach)
@@ -486,10 +522,11 @@ class IncrementalAdmissionEngine:
         return AdmissionDecision(False, report, report.infeasible_ids())
 
     def _full_admit(
-        self, requests: Tuple[MessageStream, ...]
+        self, requests: Tuple[MessageStream, ...], backend_name: str
     ) -> AdmissionDecision:
         saved = self._snapshot_caches()
         for r in requests:
+            self._analysis[r.stream_id] = backend_name
             self._attach(r, structures_only=True)
         report = self._full_rebuild()
         if report.success:
@@ -498,7 +535,14 @@ class IncrementalAdmissionEngine:
         return AdmissionDecision(False, report, report.infeasible_ids())
 
     def _full_rebuild(self) -> FeasibilityReport:
-        """Recompute everything with a plain analyzer; adopt its caches."""
+        """Recompute everything with a plain analyzer; adopt its caches.
+
+        Structures (routes, blockers, HP sets) are backend-independent,
+        so one analyzer derives them; verdicts are then grouped by each
+        stream's bound backend — a single-backend set takes the direct
+        ``determine_feasibility`` path (bit-identical to the pre-backend
+        engine when that backend is kim98).
+        """
         if len(self._admitted) == 0:
             self._resolved = StreamSet()
             self._channels.clear()
@@ -509,6 +553,10 @@ class IncrementalAdmissionEngine:
             self._hp_sets.clear()
             self._verdicts.clear()
             return FeasibilityReport.trivial()
+        in_use = {self._analysis[sid] for sid in self._admitted.ids()}
+        single = _backends.get(next(iter(in_use))) if len(in_use) == 1 \
+            else None
+        base_kwargs = single.analyzer_kwargs if single else {}
         analyzer = FeasibilityAnalyzer(
             StreamSet(self._admitted),
             self.routing,
@@ -519,8 +567,37 @@ class IncrementalAdmissionEngine:
             },
             use_modify=self.use_modify,
             residency_margin=self.residency_margin,
+            backend=single.name if single else "kim98",
+            **base_kwargs,
         )
-        report = analyzer.determine_feasibility()
+        if single is not None:
+            report = analyzer.determine_feasibility()
+        else:
+            by_backend: Dict[str, List[int]] = {}
+            for sid in self._admitted.ids():
+                by_backend.setdefault(self._analysis[sid], []).append(sid)
+            verdicts: Dict[int, StreamVerdict] = {}
+            for name in sorted(by_backend):
+                sub = _backends.get(name).analyzer_from_prepared(
+                    analyzer.streams,
+                    analyzer.channels,
+                    analyzer.blockers,
+                    analyzer.hp_sets,
+                    routing=self.routing,
+                    latency_model=self.latency_model,
+                    use_modify=self.use_modify,
+                    residency_margin=self.residency_margin,
+                )
+                for sid in by_backend[name]:
+                    verdicts[sid] = sub.cal_u(sid)
+            ordered = {
+                s.stream_id: verdicts[s.stream_id]
+                for s in analyzer.streams.sorted_by_priority()
+            }
+            report = FeasibilityReport(
+                verdicts=ordered,
+                success=all(v.feasible for v in ordered.values()),
+            )
         self._resolved = analyzer.streams
         self._channels = dict(analyzer.channels)
         self._blockers = dict(analyzer.blockers)
@@ -572,22 +649,31 @@ class IncrementalAdmissionEngine:
             else:
                 pending.append(j)
         if pending:
-            analyzer = FeasibilityAnalyzer.from_prepared(
-                self._resolved,
-                self._channels,
-                self._blockers,
-                self._hp_sets,
-                routing=self.routing,
-                latency_model=self.latency_model,
-                use_modify=self.use_modify,
-                residency_margin=self.residency_margin,
-            )
-            analyzer.timing_sink = stats
+            by_backend: Dict[str, List[int]] = {}
+            for j in pending:
+                by_backend.setdefault(self._analysis[j], []).append(j)
+            computed: Dict[int, StreamVerdict] = {}
             procs = self._pool_processes
-            if procs is not None and len(pending) >= self._parallel_threshold:
-                computed = map_verdicts(analyzer, pending, processes=procs)
-            else:
-                computed = {j: analyzer.cal_u(j) for j in pending}
+            for name in sorted(by_backend):
+                group = by_backend[name]
+                analyzer = _backends.get(name).analyzer_from_prepared(
+                    self._resolved,
+                    self._channels,
+                    self._blockers,
+                    self._hp_sets,
+                    routing=self.routing,
+                    latency_model=self.latency_model,
+                    use_modify=self.use_modify,
+                    residency_margin=self.residency_margin,
+                )
+                analyzer.timing_sink = stats
+                if (procs is not None
+                        and len(group) >= self._parallel_threshold):
+                    computed.update(
+                        map_verdicts(analyzer, group, processes=procs)
+                    )
+                else:
+                    computed.update({j: analyzer.cal_u(j) for j in group})
             for j in pending:
                 v = computed[j]
                 self._verdicts[j] = v
@@ -611,6 +697,7 @@ class IncrementalAdmissionEngine:
         hp = self._hp_sets[j]
         resolved = self._resolved
         return (
+            self._analysis[j],
             resolved[j],
             tuple(
                 (resolved[e.stream_id], e.mode, e.intermediates)
@@ -742,6 +829,7 @@ class IncrementalAdmissionEngine:
         self._reach.pop(sid, None)
         self._hp_sets.pop(sid, None)
         self._verdicts.pop(sid, None)
+        self._analysis.pop(sid, None)
 
     def _reverse_reachable(self, seeds: Iterable[int]) -> Set[int]:
         """Ids that can reach any seed via blocked-by edges (seeds incl.)."""
@@ -811,6 +899,7 @@ class IncrementalAdmissionEngine:
             {k: set(v) for k, v in self._reach.items()},
             dict(self._hp_sets),
             dict(self._verdicts),
+            dict(self._analysis),
         )
 
     def _restore_caches(self, saved) -> None:
@@ -824,6 +913,7 @@ class IncrementalAdmissionEngine:
             self._reach,
             self._hp_sets,
             self._verdicts,
+            self._analysis,
         ) = saved
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -262,11 +262,24 @@ class BrokerState:
         *,
         next_id: Optional[int] = None,
         applied_rids: Optional[Dict[str, Dict[str, Any]]] = None,
+        analyses: Optional[Dict[int, str]] = None,
     ) -> Path:
-        """Write a fresh snapshot atomically and truncate the journal."""
+        """Write a fresh snapshot atomically and truncate the journal.
+
+        ``analyses`` maps stream ids to the bound-backend name each was
+        admitted under; it is embedded per stream entry so recovery
+        re-vets every stream under the same analysis (the snapshot stays
+        a valid problem file — ``stream_from_spec`` ignores the key).
+        """
+        entries = streams_to_spec(streams)
+        if analyses:
+            for entry in entries:
+                name = analyses.get(entry["id"])
+                if name is not None:
+                    entry["analysis"] = name
         payload: Dict[str, Any] = {
             "topology": self.topology_spec,
-            "streams": streams_to_spec(streams),
+            "streams": entries,
         }
         if next_id is not None:
             payload["next_id"] = int(next_id)

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from .. import __version__
+from ..core import backends as _backends
 from ..core.streams import MessageStream
 from ..errors import AnalysisError, ReproError, StreamError
 from ..faults.plane import FaultPlane
@@ -97,6 +98,7 @@ class BrokerServer:
         state_dir: Optional[Union[str, Path]] = None,
         use_modify: bool = True,
         residency_margin: int = 0,
+        analysis: Optional[str] = None,
         incremental: Optional[bool] = None,
         batch_max: int = 64,
         fault_plane: Optional[FaultPlane] = None,
@@ -107,6 +109,7 @@ class BrokerServer:
             self.routing,
             use_modify=use_modify,
             residency_margin=residency_margin,
+            analysis=analysis,
             incremental=incremental,
         )
         self.metrics = ServiceMetrics()
@@ -145,11 +148,25 @@ class BrokerServer:
         # the committed outcome instead of a double-apply.
         self._applied.update(rec.applied_rids)
         if rec.snapshot:
-            self._admit_entries(rec.snapshot, replay=True)
+            # Streams snapshotted under different bound backends replay
+            # as one batch per backend. Order is irrelevant to the final
+            # state (the analysis has no admission-order dependence) and
+            # every intermediate set is a subset of a feasible set, hence
+            # feasible itself.
+            groups: Dict[Optional[str], List[dict]] = {}
+            for entry in rec.snapshot:
+                groups.setdefault(entry.get("analysis"), []).append(entry)
+            for name in sorted(groups, key=lambda n: (n is None, n or "")):
+                self._admit_entries(
+                    groups[name], replay=True, analysis=name
+                )
         for op in rec.ops:
             rid = op.get("rid")
             if op.get("op") == "admit":
-                ids, _ = self._admit_entries(op["streams"], replay=True)
+                ids, _ = self._admit_entries(
+                    op["streams"], replay=True,
+                    analysis=op.get("analysis"),
+                )
                 self._record_applied(rid, {"admitted": True, "ids": ids})
             elif op.get("op") == "release":
                 ids = [int(i) for i in op["ids"]]
@@ -162,10 +179,22 @@ class BrokerServer:
                 self.engine.admitted,
                 next_id=self.engine.next_id,
                 applied_rids=self._applied,
+                analyses=self._admitted_analyses(),
             )
 
+    def _admitted_analyses(self) -> Dict[int, str]:
+        """Per-stream backend names of the admitted set (for snapshots)."""
+        return {
+            sid: self.engine.analysis_of(sid)
+            for sid in self.engine.admitted.ids()
+        }
+
     def _admit_entries(
-        self, entries: List[dict], *, replay: bool = False
+        self,
+        entries: List[dict],
+        *,
+        replay: bool = False,
+        analysis: Optional[str] = None,
     ) -> Tuple[List[int], Any]:
         streams: List[MessageStream] = []
         for entry in entries:
@@ -182,7 +211,7 @@ class BrokerServer:
                 raise ProtocolError(
                     f"invalid stream entry (id {sid}): {exc}"
                 ) from None
-        decision = self.engine.try_admit(streams)
+        decision = self.engine.try_admit(streams, analysis=analysis)
         if replay and not decision.admitted:  # pragma: no cover - defensive
             raise ReproError(
                 "journal replay failed: previously admitted batch "
@@ -241,6 +270,8 @@ class BrokerServer:
                 "topology": self.topology_spec,
                 "nodes": self.topology.num_nodes,
                 "incremental": self.engine.incremental,
+                "analyses": list(_backends.names()),
+                "default_analysis": self.engine.default_analysis,
             }
         if op == "admit":
             return self._op_admit(request)
@@ -266,6 +297,7 @@ class BrokerServer:
                     self.engine.admitted,
                     next_id=self.engine.next_id,
                     applied_rids=self._applied,
+                    analyses=self._admitted_analyses(),
                 )
             except OSError as exc:
                 self.metrics.journal_errors += 1
@@ -377,8 +409,19 @@ class BrokerServer:
         entries = request.get("streams")
         if not isinstance(entries, list) or not entries:
             raise ProtocolError("'admit' needs a non-empty 'streams' list")
+        analysis = request.get("analysis")
+        if analysis is not None:
+            if not isinstance(analysis, str):
+                raise ProtocolError(
+                    f"'analysis' must be a string, got {analysis!r}"
+                )
+            if analysis not in _backends.names():
+                raise ProtocolError(
+                    f"unknown analysis backend {analysis!r} (known: "
+                    f"{', '.join(_backends.names())})"
+                )
         next_id_before = self.engine.next_id
-        ids, decision = self._admit_entries(entries)
+        ids, decision = self._admit_entries(entries, analysis=analysis)
         response: Dict[str, Any] = {
             "admitted": decision.admitted,
             "ids": ids,
@@ -392,6 +435,9 @@ class BrokerServer:
             response["closures"] = {
                 str(sid): list(self.engine.closure(sid)) for sid in ids
             }
+            # Resolved name (engine default applied), so replay after a
+            # restart does not depend on the environment at restart time.
+            response["analysis"] = self.engine.analysis_of(ids[0])
             self.metrics.admitted_ok += 1
             if self.state is not None:
                 entry: Dict[str, Any] = {
@@ -400,6 +446,7 @@ class BrokerServer:
                         stream_to_spec(self.engine.admitted[sid])
                         for sid in ids
                     ],
+                    "analysis": self.engine.analysis_of(ids[0]),
                 }
                 if rid is not None:
                     entry["rid"] = rid
@@ -433,11 +480,12 @@ class BrokerServer:
         if not isinstance(ids, list) or not ids:
             raise ProtocolError("'release' needs a non-empty 'ids' list")
         ids = [coerce_int(i, "'release' id") for i in ids]
-        # Captured before the release so a journal failure can restore
-        # them; unknown ids make engine.release raise before mutating.
+        # Captured before the release (stream + the backend it was vetted
+        # under) so a journal failure can restore them; unknown ids make
+        # engine.release raise before mutating.
         removed = [
-            self.engine.admitted[sid] for sid in ids
-            if sid in self.engine.admitted
+            (self.engine.admitted[sid], self.engine.analysis_of(sid))
+            for sid in ids if sid in self.engine.admitted
         ]
         self.engine.release(ids)
         if self.state is not None:
@@ -450,16 +498,22 @@ class BrokerServer:
         self._record_applied(rid, {"released": ids})
         return {"released": ids}
 
-    def _rollback_release(self, removed: List[MessageStream]) -> None:
-        decision = self.engine.try_admit(removed)
-        if not decision.admitted:  # pragma: no cover - defensive
-            # Re-admitting streams that were feasible a moment ago cannot
-            # fail; if it somehow does, crash loudly rather than serve a
-            # state that disagrees with the journal.
-            raise ReproError(
-                "rollback re-admission rejected; broker state is "
-                "inconsistent with the journal"
-            )
+    def _rollback_release(
+        self, removed: List[Tuple[MessageStream, str]]
+    ) -> None:
+        groups: Dict[str, List[MessageStream]] = {}
+        for stream, name in removed:
+            groups.setdefault(name, []).append(stream)
+        for name in sorted(groups):
+            decision = self.engine.try_admit(groups[name], analysis=name)
+            if not decision.admitted:  # pragma: no cover - defensive
+                # Re-admitting streams that were feasible a moment ago
+                # cannot fail; if it somehow does, crash loudly rather
+                # than serve a state that disagrees with the journal.
+                raise ReproError(
+                    "rollback re-admission rejected; broker state is "
+                    "inconsistent with the journal"
+                )
 
     def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
         sid = request.get("stream")
@@ -473,6 +527,7 @@ class BrokerServer:
             "feasible": verdict.feasible,
             "slack": verdict.slack,
             "closure": list(self.engine.closure(sid)),
+            "analysis": self.engine.analysis_of(sid),
         }
 
     # ------------------------------------------------------------------ #

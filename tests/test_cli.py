@@ -267,3 +267,82 @@ class TestChaosCommand:
     def test_chaos_rejects_bad_mesh(self, capsys):
         assert main(["chaos", "--mesh", "wat"]) == 2
         assert "--mesh wants WxH" in capsys.readouterr().err
+
+
+class TestCheckAnalysisFlag:
+    def _problem(self, tmp_path):
+        spec = {
+            "mesh": {"width": 10, "height": 10},
+            "streams": [
+                {"id": 0, "src": [0, 0], "dst": [5, 0], "priority": 2,
+                 "period": 100, "length": 10, "deadline": 50},
+            ],
+        }
+        path = tmp_path / "streams.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_each_registered_backend_selectable(self, tmp_path, capsys):
+        from repro.core import backends
+
+        path = self._problem(tmp_path)
+        for name in backends.names():
+            assert main(["check", str(path), "--analysis", name]) == 0
+            out = capsys.readouterr().out
+            assert f"({name})" in out
+
+    def test_unknown_backend_exit_two_not_silent_fallback(
+        self, tmp_path, capsys
+    ):
+        path = self._problem(tmp_path)
+        assert main(["check", str(path), "--analysis", "kim99"]) == 2
+        captured = capsys.readouterr()
+        assert "kim99" in captured.err
+        # No verdict was printed: the typo must not silently mean kim98.
+        assert "feasible" not in captured.out
+
+    def test_unknown_backend_beats_missing_file(self, tmp_path, capsys):
+        # Validation happens before I/O: a bad backend name on a missing
+        # file reports the backend error (2), not the file error (4).
+        gone = tmp_path / "gone.json"
+        assert main(["check", str(gone), "--analysis", "kim99"]) == 2
+        assert "kim99" in capsys.readouterr().err
+
+    def test_all_check_exit_codes_distinct(self, tmp_path):
+        """0 feasible / 1 infeasible / 2 invalid / 3 bad JSON / 4 no file."""
+        feasible = self._problem(tmp_path)
+        infeasible = tmp_path / "infeasible.json"
+        infeasible.write_text(json.dumps({
+            "mesh": {"width": 4, "height": 4},
+            "streams": [
+                {"id": 0, "src": 0, "dst": 3, "priority": 1,
+                 "period": 50, "length": 40, "deadline": 2},
+            ],
+        }))
+        mangled = tmp_path / "mangled.json"
+        mangled.write_text("{nope")
+        codes = [
+            main(["check", str(feasible)]),
+            main(["check", str(infeasible)]),
+            main(["check", str(feasible), "--analysis", "typo"]),
+            main(["check", str(mangled)]),
+            main(["check", str(tmp_path / "gone.json")]),
+        ]
+        assert codes == [0, 1, 2, 3, 4]
+
+    def test_report_out_carries_backend(self, tmp_path):
+        path = self._problem(tmp_path)
+        out = tmp_path / "report.json"
+        assert main(["check", str(path), "--analysis", "tighter",
+                     "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["streams"]["0"]["analysis"] == "tighter"
+
+    def test_explain_analysis_flag(self, tmp_path, capsys):
+        path = self._problem(tmp_path)
+        assert main(["explain", str(path), "0",
+                     "--analysis", "buffered"]) == 0
+        assert capsys.readouterr().out
+        assert main(["explain", str(path), "0",
+                     "--analysis", "typo"]) == 2
+        assert "typo" in capsys.readouterr().err

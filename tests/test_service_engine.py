@@ -222,8 +222,12 @@ class TestFuzzedEquivalence:
             assert report_to_spec(r1) == report_to_spec(r2), f"op {op}"
             # Pin against a from-scratch analyzer periodically (each one
             # is a full O(n) reanalysis; every op would be quadratic).
+            # Built under the engine's default backend so the pin holds
+            # on the REPRO_ANALYSIS_BACKEND CI legs too.
             if op % 40 == 0 and len(inc.admitted):
-                fresh = FeasibilityAnalyzer(
+                from repro.core import backends
+
+                fresh = backends.get(inc.default_analysis).analyzer(
                     StreamSet(inc.admitted), routing
                 ).determine_feasibility()
                 assert fresh.verdicts == r1.verdicts, f"op {op}"

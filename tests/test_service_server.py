@@ -496,3 +496,120 @@ class TestChurnSpec:
             assert 0 <= s["src"] < 36 and 0 <= s["dst"] < 36
             assert s["src"] != s["dst"]
             assert 0 < s["deadline"] <= s["period"]
+
+
+class TestAnalysisSelection:
+    """Per-request bound-backend selection through the broker, and its
+    persistence across snapshot+journal restarts."""
+
+    def test_hello_lists_backends(self, monkeypatch):
+        from repro.core import backends
+
+        monkeypatch.delenv(backends.ENV_VAR, raising=False)
+        server = BrokerServer(MESH)
+        resp = server.handle_request({"op": "hello", "id": 1})
+        assert resp["ok"]
+        assert resp["default_analysis"] == "kim98"
+        assert {"kim98", "tighter", "buffered"} <= set(resp["analyses"])
+
+    def test_admit_with_each_backend_round_trips(self):
+        from repro.core import backends
+
+        server = BrokerServer(MESH)
+        src = 0
+        for name in backends.names():
+            resp = server.handle_request({
+                "op": "admit", "analysis": name,
+                "streams": [spec(src=src, dst=src + 3)],
+            })
+            assert resp["ok"] and resp["admitted"], (name, resp)
+            assert resp["analysis"] == name
+            sid = resp["ids"][0]
+            q = server.handle_request({"op": "query", "stream": sid})
+            assert q["ok"] and q["analysis"] == name
+            src += 6
+        report = server.handle_request({"op": "report"})["report"]
+        stamped = {entry["analysis"]
+                   for entry in report["streams"].values()}
+        assert stamped == set(backends.names())
+
+    def test_admit_unknown_backend_is_protocol_error(self):
+        server = BrokerServer(MESH)
+        resp = server.handle_request({
+            "op": "admit", "analysis": "kim99", "streams": [spec()],
+        })
+        assert not resp["ok"] and resp["code"] == "protocol"
+        assert "kim99" in resp["error"] and "kim98" in resp["error"]
+        # Nothing was admitted by the failed request.
+        assert server.handle_request({"op": "report"})["admitted"] == 0
+
+    def test_admit_non_string_backend_rejected(self):
+        server = BrokerServer(MESH)
+        resp = server.handle_request({
+            "op": "admit", "analysis": 7, "streams": [spec()],
+        })
+        assert not resp["ok"] and resp["code"] == "protocol"
+
+    def test_journal_records_resolved_backend(self, tmp_path, monkeypatch):
+        from repro.core import backends
+
+        monkeypatch.delenv(backends.ENV_VAR, raising=False)
+        state = tmp_path / "state"
+        server = BrokerServer(MESH, state_dir=state)
+        server.handle_request({
+            "op": "admit", "analysis": "tighter", "streams": [spec()],
+        })
+        server.handle_request({"op": "admit", "streams": [spec(src=6, dst=9)]})
+        ops = [json.loads(line) for line in
+               (state / "journal.jsonl").read_text().splitlines()]
+        assert ops[0]["analysis"] == "tighter"
+        # The engine default is resolved at admit time, not replay time.
+        assert ops[1]["analysis"] == "kim98"
+
+    def test_backends_survive_journal_replay(self, tmp_path):
+        state = tmp_path / "state"
+        server = BrokerServer(MESH, state_dir=state)
+        server.handle_request({
+            "op": "admit", "analysis": "tighter", "streams": [spec()],
+        })
+        server.handle_request({
+            "op": "admit", "analysis": "buffered",
+            "streams": [spec(src=6, dst=9)],
+        })
+        recovered = BrokerServer(MESH, state_dir=state)
+        assert recovered.engine.analysis_of(0) == "tighter"
+        assert recovered.engine.analysis_of(1) == "buffered"
+        q = recovered.handle_request({"op": "query", "stream": 0})
+        assert q["analysis"] == "tighter"
+
+    def test_backends_survive_snapshot_restart(self, tmp_path, monkeypatch):
+        from repro.core import backends
+
+        monkeypatch.delenv(backends.ENV_VAR, raising=False)
+        state = tmp_path / "state"
+        server = BrokerServer(MESH, state_dir=state)
+        server.handle_request({
+            "op": "admit", "analysis": "tighter", "streams": [spec()],
+        })
+        server.handle_request({
+            "op": "admit", "streams": [spec(src=6, dst=9)],
+        })
+        server.handle_request({"op": "snapshot"})
+        snap = json.loads((state / "snapshot.json").read_text())
+        assert {e["id"]: e.get("analysis") for e in snap["streams"]} == {
+            0: "tighter", 1: "kim98",
+        }
+        # Snapshot-only recovery (journal was compacted away).
+        recovered = BrokerServer(MESH, state_dir=state)
+        assert recovered.engine.analysis_of(0) == "tighter"
+        assert recovered.engine.analysis_of(1) == "kim98"
+        report = recovered.handle_request({"op": "report"})["report"]
+        assert report["streams"]["0"]["analysis"] == "tighter"
+        assert report["streams"]["1"]["analysis"] == "kim98"
+
+    def test_server_analysis_default_applies_to_plain_admits(self):
+        server = BrokerServer(MESH, analysis="tighter")
+        resp = server.handle_request({"op": "hello"})
+        assert resp["default_analysis"] == "tighter"
+        admit = server.handle_request({"op": "admit", "streams": [spec()]})
+        assert admit["ok"] and admit["analysis"] == "tighter"
