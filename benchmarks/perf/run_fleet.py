@@ -1,0 +1,296 @@
+#!/usr/bin/env python
+"""Fleet scaling benchmark: aggregate admission throughput vs shards.
+
+Writes ``BENCH_PR8.json`` at the repo root. The workload is a 4-tenant
+admit/release churn (the same seeded ``churn_spec`` policy as ``repro
+load``) on a 10x10 mesh, held around a per-tenant live target where
+admission decisions are non-trivial. Three legs:
+
+``single_broker``
+    The pre-fleet deployment: one engine holds *all four tenants'*
+    streams in one admitted set. Every admit pays the analysis over the
+    union — the cost the fleet exists to shed.
+
+``fleet``
+    The same per-tenant schedules through :class:`repro.fleet.shards.
+    Fleet` at 1, 2 and 4 shards per tenant. Before any number is
+    recorded, every tenant's final fingerprint must be identical across
+    all shard counts (sharding must not change the verdicts it is
+    making faster). The headline ``speedup_4_shards`` is
+    ``fleet[shards=4].ops_per_second / single_broker.ops_per_second``.
+
+``gateway``
+    The 4-shard fleet behind the real asyncio HTTP gateway on loopback,
+    driven by :class:`repro.fleet.client.GatewayClient`; records ops/s
+    and per-op p50/p99 latency, plus the p99 delta over the in-process
+    4-shard leg (what HTTP + auth + the event loop cost).
+
+Environment knobs:
+
+* ``REPRO_BENCH_FLEET_OPS``    — churn ops per tenant (default 250);
+* ``REPRO_BENCH_FLEET_LIVE``   — per-tenant live target (default 30);
+* ``REPRO_BENCH_GATEWAY``      — 0 skips the HTTP gateway leg;
+* ``REPRO_PERF_REPEATS``       — timing repeats, best-of (default 1);
+* ``REPRO_BENCH_FLEET_MIN_SPEEDUP`` — when set, fail unless
+  ``speedup_4_shards`` reaches this floor (CI's regression guard).
+
+Run:  python benchmarks/perf/run_fleet.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import random
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+for p in (REPO_ROOT / "src", REPO_ROOT):
+    if str(p) not in sys.path:
+        sys.path.insert(0, str(p))
+
+from repro.faults.campaign import ScheduledOp, _apply_outcome, build_request  # noqa: E402
+from repro.fleet.client import GatewayClient  # noqa: E402
+from repro.fleet.gateway import GatewayServer  # noqa: E402
+from repro.fleet.shards import Fleet, TenantSpec  # noqa: E402
+from repro.service.host import EngineHost  # noqa: E402
+from repro.service.loadgen import churn_spec  # noqa: E402
+
+OPS = int(os.environ.get("REPRO_BENCH_FLEET_OPS", "250"))
+TARGET_LIVE = int(os.environ.get("REPRO_BENCH_FLEET_LIVE", "30"))
+RUN_GATEWAY = os.environ.get("REPRO_BENCH_GATEWAY", "1") != "0"
+REPEATS = int(os.environ.get("REPRO_PERF_REPEATS", "1"))
+MIN_SPEEDUP = os.environ.get("REPRO_BENCH_FLEET_MIN_SPEEDUP", "").strip()
+OUT_PATH = REPO_ROOT / "BENCH_PR8.json"
+
+TENANTS = 4
+TOPO = {"type": "mesh", "width": 10, "height": 10}
+NODES = 100
+LEVELS = 15
+SEED = 0
+
+
+def build_schedules():
+    """One interleaved (tenant, ScheduledOp) timeline, seeded."""
+    rng = random.Random(SEED)
+    schedule = []
+    for i in range(OPS * TENANTS):
+        tenant = f"tenant-{i % TENANTS}"
+        schedule.append((tenant, ScheduledOp(
+            index=i,
+            rid=f"b{SEED}-{i}",
+            bias=rng.random(),
+            pick=rng.random(),
+            spec=churn_spec(rng, NODES, priority_levels=LEVELS),
+        )))
+    return schedule
+
+
+def replay_single_broker(schedule):
+    """All four tenants through ONE engine (the pre-fleet baseline)."""
+    host = EngineHost(TOPO)
+    live = {f"tenant-{i}": [] for i in range(TENANTS)}
+    admits = 0
+    t0 = time.perf_counter()
+    for tenant, entry in schedule:
+        request = build_request(entry, live[tenant],
+                                target_live=TARGET_LIVE)
+        request.pop("rid", None)  # no persistence: rids are dead weight
+        response = host.handle_request(request)
+        if not response.get("ok"):
+            raise RuntimeError(f"baseline op failed: {response}")
+        if request["op"] == "admit":
+            admits += 1
+        _apply_outcome(request, response, live[tenant], [])
+    seconds = time.perf_counter() - t0
+    return seconds, admits
+
+
+def replay_fleet(schedule, shards):
+    """The same schedules through a sharded fleet; returns fingerprints
+    so the shard counts can be proven verdict-identical."""
+    fleet = Fleet(
+        [TenantSpec(f"tenant-{i}", f"key-{i}", TOPO)
+         for i in range(TENANTS)],
+        shards=shards,
+    )
+    live = {f"tenant-{i}": [] for i in range(TENANTS)}
+    admits = 0
+    t0 = time.perf_counter()
+    for tenant, entry in schedule:
+        request = build_request(entry, live[tenant],
+                                target_live=TARGET_LIVE)
+        request.pop("rid", None)
+        response = fleet.handle_request(tenant, request)
+        if not response.get("ok"):
+            raise RuntimeError(f"fleet op failed ({shards} shards): "
+                               f"{response}")
+        if request["op"] == "admit":
+            admits += 1
+        _apply_outcome(request, response, live[tenant], [])
+    seconds = time.perf_counter() - t0
+    shas = {t: tf.fingerprint()[0] for t, tf in fleet.tenants.items()}
+    spread = {t: len(set(tf.owner.values())) for t, tf in
+              fleet.tenants.items()}
+    fleet.close()
+    return seconds, admits, shas, spread
+
+
+def bench_gateway(schedule):
+    """The 4-shard fleet behind the real HTTP gateway on loopback."""
+    fleet = Fleet(
+        [TenantSpec(f"tenant-{i}", f"key-{i}", TOPO)
+         for i in range(TENANTS)],
+        shards=4,
+    )
+    gw = GatewayServer(fleet)
+    result = {}
+
+    def drive(port):
+        clients = {
+            f"tenant-{i}": GatewayClient(f"127.0.0.1:{port}",
+                                         api_key=f"key-{i}")
+            for i in range(TENANTS)
+        }
+        live = {t: [] for t in clients}
+        latencies = []
+        t0 = time.perf_counter()
+        for tenant, entry in schedule:
+            request = build_request(entry, live[tenant],
+                                    target_live=TARGET_LIVE)
+            request.pop("rid", None)
+            op = request.pop("op")
+            t1 = time.perf_counter()
+            response = clients[tenant].request(op, **request)
+            latencies.append(time.perf_counter() - t1)
+            if not response.get("ok"):
+                raise RuntimeError(f"gateway op failed: {response}")
+            request["op"] = op
+            _apply_outcome(request, response, live[tenant], [])
+        seconds = time.perf_counter() - t0
+        result["seconds"] = seconds
+        result["latencies"] = latencies
+        clients["tenant-0"].request("shutdown")
+        for c in clients.values():
+            c.close()
+
+    async def main():
+        await gw.start("127.0.0.1", 0)
+        thread = threading.Thread(target=drive, args=(gw.port,))
+        thread.start()
+        await gw.serve_forever()
+        thread.join(timeout=30)
+
+    asyncio.run(main())
+    lat = sorted(result["latencies"])
+
+    def pct(q):
+        return lat[min(len(lat) - 1, int(q * len(lat)))] * 1000.0
+
+    return {
+        "ops": len(schedule),
+        "seconds": round(result["seconds"], 3),
+        "ops_per_second": round(len(schedule) / result["seconds"], 1),
+        "latency_ms": {
+            "p50": round(pct(0.50), 3),
+            "p99": round(pct(0.99), 3),
+            "mean": round(statistics.mean(lat) * 1000.0, 3),
+        },
+    }
+
+
+def main() -> int:
+    schedule = build_schedules()
+    total_ops = len(schedule)
+    out = {
+        "workload": {
+            "tenants": TENANTS,
+            "ops_per_tenant": OPS,
+            "total_ops": total_ops,
+            "target_live_per_tenant": TARGET_LIVE,
+            "topology": TOPO,
+            "priority_levels": LEVELS,
+            "seed": SEED,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    }
+
+    best = float("inf")
+    admits = 0
+    for _ in range(max(1, REPEATS)):
+        sec, admits = replay_single_broker(schedule)
+        best = min(best, sec)
+    single_ops_s = total_ops / best
+    out["single_broker"] = {
+        "seconds": round(best, 3),
+        "admits": admits,
+        "ops_per_second": round(single_ops_s, 1),
+        "admits_per_second": round(admits / best, 1),
+    }
+    print(f"single broker: {total_ops} ops in {best:.2f}s "
+          f"({single_ops_s:.0f} ops/s)")
+
+    fleet_rows = {}
+    reference_shas = None
+    for shards in (1, 2, 4):
+        best = float("inf")
+        shas = spread = None
+        for _ in range(max(1, REPEATS)):
+            sec, admits, shas, spread = replay_fleet(schedule, shards)
+            best = min(best, sec)
+        if reference_shas is None:
+            reference_shas = shas
+        elif shas != reference_shas:
+            print(f"FAIL: verdicts diverged at {shards} shards",
+                  file=sys.stderr)
+            return 1
+        ops_s = total_ops / best
+        fleet_rows[str(shards)] = {
+            "seconds": round(best, 3),
+            "admits": admits,
+            "ops_per_second": round(ops_s, 1),
+            "admits_per_second": round(admits / best, 1),
+            "speedup_vs_single_broker": round(ops_s / single_ops_s, 2),
+            "max_shards_used": max(spread.values()),
+        }
+        print(f"fleet x{shards}: {total_ops} ops in {best:.2f}s "
+              f"({ops_s:.0f} ops/s, "
+              f"{ops_s / single_ops_s:.2f}x single broker)")
+    out["fleet"] = fleet_rows
+    out["fingerprints_identical_across_shard_counts"] = True
+    speedup = fleet_rows["4"]["speedup_vs_single_broker"]
+    out["speedup_4_shards"] = speedup
+
+    if RUN_GATEWAY:
+        gw = bench_gateway(schedule)
+        inproc_ms = (fleet_rows["4"]["seconds"] / total_ops) * 1000.0
+        gw["p99_delta_ms_vs_inprocess"] = round(
+            gw["latency_ms"]["p99"] - inproc_ms, 3
+        )
+        out["gateway"] = gw
+        print(f"gateway x4: {gw['ops_per_second']:.0f} ops/s, "
+              f"p99 {gw['latency_ms']['p99']:.2f}ms "
+              f"(+{gw['p99_delta_ms_vs_inprocess']:.2f}ms vs in-process)")
+
+    OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+
+    if MIN_SPEEDUP and speedup < float(MIN_SPEEDUP):
+        print(f"FAIL: speedup_4_shards {speedup:.2f} is below the "
+              f"REPRO_BENCH_FLEET_MIN_SPEEDUP={MIN_SPEEDUP} floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,7 +61,18 @@ Commands
 ``load``
     Replay seeded admit/release churn against a running broker and print
     a JSON summary (throughput, acceptance rate, server stats). Used by
-    the CI smoke job and for capacity probing.
+    the CI smoke job and for capacity probing. ``--target http://...``
+    (with ``--api-key``, optionally ``--tenant`` to assert which tenant
+    the key maps to) drives a fleet gateway over HTTP instead of a raw
+    broker socket — same workload, same summary.
+``gateway``
+    Run the sharded broker fleet behind an HTTP front end (see
+    :mod:`repro.fleet`): per-tenant API keys (``--tenant NAME=KEY``,
+    repeatable), ``--shards`` engines per tenant partitioned by
+    channel-connected components, journal-shipping warm standbys when
+    ``--state-dir`` is given, ``GET /healthz``, a Prometheus
+    ``GET /metrics`` rollup, the JSON admission API under ``/v1/`` and
+    kill/failover admin ops under ``/admin/``.
 ``chaos``
     Run a seeded fault-injection campaign against the broker (see
     :mod:`repro.faults`): a fault-free oracle executes an op schedule,
@@ -70,7 +81,11 @@ Commands
     kills + restarts, dropped connections, cache storms). Exit 0 iff the
     recovered state is bit-identical to the oracle, no acknowledged op
     was lost, and at least ``--min-faults`` faults fired. The printed
-    seed reproduces the campaign exactly.
+    seed reproduces the campaign exactly. ``--fleet`` runs the campaign
+    against a sharded fleet instead (see :mod:`repro.fleet.chaos`):
+    multi-tenant churn with journal faults, whole-fleet crash restarts,
+    primary kills and standby promotions, judged per tenant against
+    single-engine oracles.
 """
 
 from __future__ import annotations
@@ -218,6 +233,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bind address for --metrics-port "
                               "(default 127.0.0.1)")
 
+    p_gateway = sub.add_parser(
+        "gateway", help="run the sharded broker fleet behind HTTP"
+    )
+    p_gateway.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default 127.0.0.1)")
+    p_gateway.add_argument("--port", type=int, default=7316,
+                           help="HTTP port (default 7316)")
+    p_gateway.add_argument("--tenant", action="append", default=None,
+                           metavar="NAME=KEY",
+                           help="tenant and its API key; repeatable "
+                                "(default: one tenant 'default=dev-key')")
+    p_gateway.add_argument("--shards", type=int, default=2,
+                           help="engines per tenant (default 2)")
+    p_gateway.add_argument("--mesh", default=None, metavar="WxH",
+                           help="shortcut for a WxH mesh topology")
+    p_gateway.add_argument("--topology", default=None, metavar="JSON",
+                           help="topology spec as JSON (all tenants)")
+    p_gateway.add_argument("--state-dir", default=None, metavar="DIR",
+                           help="persistence root (one subdirectory per "
+                                "tenant/shard); also enables the "
+                                "journal-shipping warm standbys")
+    p_gateway.add_argument("--no-standby", action="store_true",
+                           help="persist without warm standbys")
+    p_gateway.add_argument("--no-incremental", action="store_true",
+                           help="full reanalysis on every request")
+    p_gateway.add_argument("--poll-interval", type=float, default=0.2,
+                           help="standby journal-tail period in seconds "
+                                "(default 0.2)")
+
     p_load = sub.add_parser(
         "load", help="replay admit/release churn against a running broker"
     )
@@ -226,6 +270,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--host", default=None, help="broker TCP host")
     p_load.add_argument("--port", type=int, default=7315,
                         help="broker TCP port (default 7315)")
+    p_load.add_argument("--target", default=None, metavar="URL",
+                        help="fleet gateway base URL (http://host:port); "
+                             "drives the same churn over HTTP")
+    p_load.add_argument("--api-key", default=None,
+                        help="tenant API key for --target")
+    p_load.add_argument("--tenant", default=None,
+                        help="assert the --api-key maps to this tenant")
     p_load.add_argument("--ops", type=int, default=300,
                         help="operations to replay (default 300)")
     p_load.add_argument("--seed", type=int, default=0,
@@ -274,6 +325,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--min-faults", type=int, default=0,
                          help="fail unless at least this many faults "
                               "fired across all three layers")
+    p_chaos.add_argument("--fleet", action="store_true",
+                         help="run the campaign against a sharded fleet "
+                              "(kills, promotions, whole-fleet restarts)")
+    p_chaos.add_argument("--tenants", type=int, default=3,
+                         help="fleet tenants (--fleet only; default 3)")
+    p_chaos.add_argument("--shards", type=int, default=2,
+                         help="shards per tenant (--fleet only; default 2)")
+    p_chaos.add_argument("--kill-rate", type=float, default=0.04,
+                         help="per-op probability of a primary kill "
+                              "(--fleet only; default 0.04)")
+    p_chaos.add_argument("--min-kills", type=int, default=0,
+                         help="fail unless at least this many primaries "
+                              "were killed (--fleet only)")
 
     return parser
 
@@ -544,12 +608,79 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_gateway(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .fleet import Fleet, GatewayServer, StandbyPool, TenantSpec
+
+    topo = _serve_topology_spec(args)
+    pairs = args.tenant or ["default=dev-key"]
+    specs = []
+    for pair in pairs:
+        name, sep, key = pair.partition("=")
+        if not sep or not name or not key:
+            raise ReproError(
+                f"--tenant wants NAME=KEY, got {pair!r}"
+            )
+        specs.append(TenantSpec(name, key, topo))
+    fleet = Fleet(
+        specs,
+        shards=args.shards,
+        state_dir=args.state_dir,
+        incremental=False if args.no_incremental else None,
+    )
+    standbys = None
+    if args.state_dir is not None and not args.no_standby:
+        standbys = StandbyPool(fleet)
+    gateway = GatewayServer(
+        fleet, standbys=standbys, poll_interval=args.poll_interval
+    )
+
+    async def run() -> None:
+        await gateway.start(args.host, args.port)
+        recovered = sum(
+            len(tf.owner) for tf in fleet.tenants.values()
+        )
+        print(
+            f"repro-gateway listening on http://{args.host}:"
+            f"{gateway.port} ({len(specs)} tenant(s) x {args.shards} "
+            f"shard(s), {recovered} stream(s) recovered, standbys "
+            f"{'on' if standbys else 'off'})",
+            flush=True,
+        )
+        await gateway.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0
+
+
 def _run_load(args: argparse.Namespace) -> int:
     from .service.loadgen import BrokerClient, run_load
 
-    if (args.socket is None) == (args.host is None):
-        raise ReproError("pass exactly one of --socket or --host")
-    if args.socket is not None:
+    chosen = [o for o in (args.socket, args.host, args.target)
+              if o is not None]
+    if len(chosen) != 1:
+        raise ReproError(
+            "pass exactly one of --socket, --host or --target"
+        )
+    if args.target is not None:
+        from .fleet import GatewayClient
+
+        if args.api_key is None:
+            raise ReproError("--target needs --api-key")
+        client = GatewayClient(args.target, api_key=args.api_key)
+        if args.tenant is not None:
+            hello = client.check("hello")
+            if hello.get("tenant") != args.tenant:
+                client.close()
+                raise ReproError(
+                    f"API key maps to tenant {hello.get('tenant')!r}, "
+                    f"not {args.tenant!r}"
+                )
+    elif args.socket is not None:
         client = BrokerClient.wait_for_unix(args.socket, timeout=args.wait)
     else:
         client = BrokerClient(host=args.host, port=args.port)
@@ -582,9 +713,48 @@ def _run_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fleet_chaos(args: argparse.Namespace) -> int:
+    from .fleet.chaos import FleetChaosConfig, run_fleet_chaos_campaign
+
+    width, height = _parse_mesh(args.mesh)
+    cfg = FleetChaosConfig(
+        seed=args.seed,
+        ops=args.ops,
+        tenants=args.tenants,
+        shards=args.shards,
+        width=width,
+        height=height,
+        target_live=args.target_live,
+        persistence_rate=args.persistence_rate,
+        kill_rate=args.kill_rate,
+    )
+    report = run_fleet_chaos_campaign(cfg, state_dir=args.state_dir)
+    print(json.dumps(report.to_dict(), indent=2))
+    print(report.summary(), file=sys.stderr)
+    if not report.ok:
+        return 1
+    if report.faults_total < args.min_faults:
+        print(
+            f"error: only {report.faults_total} faults fired "
+            f"(--min-faults {args.min_faults})",
+            file=sys.stderr,
+        )
+        return 1
+    if report.kills < args.min_kills:
+        print(
+            f"error: only {report.kills} primaries killed "
+            f"(--min-kills {args.min_kills})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _run_chaos(args: argparse.Namespace) -> int:
     from .faults import ChaosConfig, run_chaos_campaign
 
+    if args.fleet:
+        return _run_fleet_chaos(args)
     width, height = _parse_mesh(args.mesh)
     cfg = ChaosConfig(
         seed=args.seed,
@@ -641,6 +811,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_fuzz(args)
         if args.command == "serve":
             return _run_serve(args)
+        if args.command == "gateway":
+            return _run_gateway(args)
         if args.command == "load":
             return _run_load(args)
         if args.command == "chaos":

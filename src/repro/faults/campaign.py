@@ -38,7 +38,6 @@ op gets which fault. Replaying a seed replays the campaign.
 from __future__ import annotations
 
 import asyncio
-import hashlib
 import json
 import random
 import socket as socket_module
@@ -190,31 +189,12 @@ def state_fingerprint(server: BrokerServer) -> Tuple[str, Dict[str, Any]]:
     Covers the admitted stream specs, each stream's delay bound /
     feasibility / slack / HP closure, the full feasibility report and
     the fresh-id high-water mark. Built through the public protocol ops
-    so it fingerprints what clients can observe.
+    so it fingerprints what clients can observe. Accepts a
+    :class:`BrokerServer` or a bare :class:`~repro.service.host.EngineHost`
+    (the fleet fingerprints hosts directly).
     """
-    report = server.handle_request({"op": "report"})
-    if not report.get("ok"):  # pragma: no cover - report cannot fail
-        raise ReproError(f"report failed while fingerprinting: {report}")
-    streams: Dict[str, Any] = {}
-    for sid in sorted(server.engine.admitted.ids()):
-        query = server.handle_request({"op": "query", "stream": sid})
-        if not query.get("ok"):  # pragma: no cover - defensive
-            raise ReproError(f"query {sid} failed: {query}")
-        streams[str(sid)] = {
-            "stream": query["stream"],
-            "upper_bound": query["upper_bound"],
-            "feasible": query["feasible"],
-            "slack": query["slack"],
-            "closure": query["closure"],
-        }
-    spec = {
-        "streams": streams,
-        "next_id": server.engine.next_id,
-        "report": report["report"],
-        "admitted": report["admitted"],
-    }
-    blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest(), spec
+    host = getattr(server, "host", server)
+    return host.fingerprint()
 
 
 def run_oracle(

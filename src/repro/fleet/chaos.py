@@ -1,0 +1,473 @@
+"""Fleet chaos campaign: crashes, primary kills and failovers vs oracles.
+
+The single-broker campaign (:mod:`repro.faults.campaign`) proves the
+broker's recovery story; this module proves the *fleet's*: sharded
+placement, cross-shard migration, journal-shipping standbys and
+promotion must preserve the same two invariants under the same faults —
+
+* **Bit-identity** — after the campaign, every tenant's fleet state
+  (and a fresh fleet recovered from its disks) fingerprints equal to a
+  fault-free single-engine oracle replaying the tenant's acked schedule.
+  Sharding is a placement strategy, not an approximation.
+* **Zero acked-then-lost, zero phantoms** — every acknowledged admit
+  survives every crash, kill and promotion; nothing unacknowledged
+  materialises.
+
+The fault vocabulary is the fleet's deployment reality:
+
+* **Journal faults** (disk_full / fsync_error / torn_write /
+  crash_after_append, armed on the shared fault plane) — an
+  :class:`~repro.faults.plane.InjectedCrash` escaping a shard is
+  indistinguishable from the whole process dying, so the driver rebuilds
+  the entire :class:`Fleet` from its state directory. Torn migrations
+  (admitted on the target, crash before the source released) are
+  exactly what fleet recovery's duplicate-repair exists for.
+* **Primary kills** — a random shard stops serving mid-campaign
+  (between ops: a crash point *within* an op is the journal faults'
+  job). With probability ½ the driver fails over immediately; otherwise
+  it keeps issuing ops — those that land on live shards proceed, the
+  first that needs the dead shard forces the failover — so promotion
+  happens with real traffic in flight around it.
+* **Degraded shards** — a disk fault inside an op leaves that shard
+  read-only; the driver clears it with a ``snapshot`` op, as a
+  supervising client would.
+
+Determinism: the schedule and the fault placement draw from independent
+seeded streams, so replaying a seed replays the campaign, faults and
+kills included.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import ReproError
+from ..faults.campaign import ScheduledOp, _apply_outcome, build_request
+from ..faults.plane import (
+    PERSISTENCE_FAULTS,
+    SITE_JOURNAL_APPEND,
+    FaultPlane,
+    FaultSpec,
+    InjectedCrash,
+)
+from ..service.host import EngineHost
+from ..service.loadgen import churn_spec
+from .replication import StandbyPool
+from .shards import Fleet, TenantSpec
+
+__all__ = [
+    "FleetChaosConfig",
+    "FleetChaosReport",
+    "generate_fleet_schedule",
+    "run_fleet_chaos_campaign",
+]
+
+_MAX_ATTEMPTS = 32
+
+
+@dataclass(frozen=True)
+class FleetChaosConfig:
+    """Everything a fleet campaign needs, derivable from one seed."""
+
+    seed: int = 0
+    ops: int = 200
+    tenants: int = 3
+    shards: int = 2
+    width: int = 6
+    height: int = 6
+    target_live: int = 10
+    priority_levels: int = 15
+    #: Probability an op arms a random journal fault (on the shared
+    #: plane: whichever shard appends next trips it).
+    persistence_rate: float = 0.20
+    #: Probability an op is preceded by a primary kill (if none pending).
+    kill_rate: float = 0.04
+    backoff_base: float = 0.005
+    backoff_cap: float = 0.1
+
+    def topology_spec(self) -> Dict[str, Any]:
+        return {"type": "mesh", "width": self.width, "height": self.height}
+
+    @property
+    def nodes(self) -> int:
+        return self.width * self.height
+
+    def tenant_specs(self) -> List[TenantSpec]:
+        return [
+            TenantSpec(
+                f"tenant-{i}", f"key-{self.seed}-{i}", self.topology_spec()
+            )
+            for i in range(self.tenants)
+        ]
+
+
+def generate_fleet_schedule(
+    cfg: FleetChaosConfig,
+) -> List[Tuple[str, ScheduledOp]]:
+    """Materialise the campaign's (tenant, op) schedule from the seed.
+
+    Tenants interleave on one timeline — that is what makes migrations
+    and kills land between *other* tenants' ops — but each tenant's
+    subsequence is a plain churn schedule its oracle can replay alone.
+    """
+    rng = random.Random(cfg.seed)
+    schedule: List[Tuple[str, ScheduledOp]] = []
+    for i in range(cfg.ops):
+        tenant = f"tenant-{rng.randrange(cfg.tenants)}"
+        schedule.append((
+            tenant,
+            ScheduledOp(
+                index=i,
+                rid=f"f{cfg.seed}-{i}",
+                bias=rng.random(),
+                pick=rng.random(),
+                spec=churn_spec(rng, cfg.nodes,
+                                priority_levels=cfg.priority_levels),
+            ),
+        ))
+    return schedule
+
+
+def _run_tenant_oracles(
+    cfg: FleetChaosConfig, schedule: List[Tuple[str, ScheduledOp]]
+) -> Tuple[Dict[str, str], Dict[str, List[Dict[str, Any]]]]:
+    """Fault-free single-engine reference per tenant.
+
+    One :class:`EngineHost` (no persistence, no sharding) replays each
+    tenant's subsequence; its fingerprint is the bar the sharded,
+    crashed, failed-over fleet must clear bit-for-bit.
+    """
+    hosts = {
+        f"tenant-{i}": EngineHost(cfg.topology_spec())
+        for i in range(cfg.tenants)
+    }
+    live: Dict[str, List[int]] = {t: [] for t in hosts}
+    outcomes: Dict[str, List[Dict[str, Any]]] = {t: [] for t in hosts}
+    for tenant, entry in schedule:
+        request = build_request(
+            entry, live[tenant], target_live=cfg.target_live
+        )
+        response = hosts[tenant].handle_request(request)
+        if not response.get("ok"):  # pragma: no cover - oracle is clean
+            raise ReproError(
+                f"oracle op {entry.index} ({tenant}) failed: {response}"
+            )
+        _apply_outcome(request, response, live[tenant], outcomes[tenant])
+    shas = {t: h.fingerprint()[0] for t, h in hosts.items()}
+    return shas, outcomes
+
+
+@dataclass
+class _FleetRun:
+    """Mutable campaign state threaded through restarts."""
+
+    live: Dict[str, List[int]] = field(default_factory=dict)
+    outcomes: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
+    fleet_restarts: int = 0
+    kills: int = 0
+    promotions: int = 0
+    degraded_recoveries: int = 0
+    duplicate_acks: int = 0
+    ops_while_dead: int = 0
+
+
+def _build_fleet(
+    cfg: FleetChaosConfig, state_dir: Path, plane: FaultPlane,
+    run: _FleetRun,
+) -> Tuple[Fleet, StandbyPool]:
+    """(Re)build the fleet + standbys from disk, riding out one crash.
+
+    Fleet recovery itself journals (duplicate-repair releases, re-merge
+    migrations), so a fault still armed from the op that crashed the
+    previous incarnation can fire *during* recovery. Armed faults are
+    one-shot: retrying once more always converges.
+    """
+    for _ in range(_MAX_ATTEMPTS):  # pragma: no branch
+        try:
+            fleet = Fleet(
+                cfg.tenant_specs(),
+                shards=cfg.shards,
+                state_dir=state_dir,
+                fault_plane=plane,
+            )
+            return fleet, StandbyPool(fleet)
+        except InjectedCrash:
+            run.fleet_restarts += 1
+    raise ReproError(  # pragma: no cover - one-shot faults converge
+        f"fleet recovery did not converge in {_MAX_ATTEMPTS} attempts"
+    )
+
+
+def _promote_dead(
+    fleet: Fleet, standbys: StandbyPool, run: _FleetRun
+) -> None:
+    """Fail every dead primary over to its standby."""
+    for tname in sorted(fleet.tenants):
+        tf = fleet.tenants[tname]
+        for shard in sorted(tf.dead):
+            standbys.promote(tname, shard)
+            run.promotions += 1
+
+
+def run_fleet_chaos_campaign(
+    cfg: FleetChaosConfig,
+    state_dir: Optional[Union[str, Path]] = None,
+) -> "FleetChaosReport":
+    """Run one full fleet campaign; everything derives from ``cfg.seed``."""
+    t0 = time.perf_counter()
+    schedule = generate_fleet_schedule(cfg)
+    oracle_shas, oracle_outcomes = _run_tenant_oracles(cfg, schedule)
+
+    plane = FaultPlane(cfg.seed + 1)
+    driver_rng = random.Random(cfg.seed + 2)
+    run = _FleetRun(
+        live={f"tenant-{i}": [] for i in range(cfg.tenants)},
+        outcomes={f"tenant-{i}": [] for i in range(cfg.tenants)},
+    )
+
+    tmp: Optional[tempfile.TemporaryDirectory] = None
+    if state_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-fleet-chaos-")
+        state_dir = tmp.name
+    state_path = Path(state_dir)
+    try:
+        fleet, standbys = _build_fleet(cfg, state_path, plane, run)
+        try:
+            for tenant, entry in schedule:
+                tf = fleet.tenants[tenant]
+                # A primary kill lands between ops (a clean journal
+                # boundary; intra-op crash points belong to the journal
+                # faults). Half the time the failover is immediate; the
+                # other half traffic keeps flowing and the first op that
+                # needs the dead shard forces it.
+                if (
+                    not any(t.dead for t in fleet.tenants.values())
+                    and driver_rng.random() < cfg.kill_rate
+                ):
+                    victim = driver_rng.randrange(len(tf.hosts))
+                    standbys.catch_up()
+                    tf.kill_host(victim)
+                    run.kills += 1
+                    if driver_rng.random() < 0.5:
+                        _promote_dead(fleet, standbys, run)
+                if driver_rng.random() < cfg.persistence_rate:
+                    kind = PERSISTENCE_FAULTS[
+                        driver_rng.randrange(len(PERSISTENCE_FAULTS))
+                    ]
+                    plane.arm(SITE_JOURNAL_APPEND, FaultSpec(kind))
+                request = build_request(
+                    entry, run.live[tenant], target_live=cfg.target_live
+                )
+                for _ in range(_MAX_ATTEMPTS):
+                    try:
+                        response = fleet.handle_request(tenant, request)
+                    except InjectedCrash:
+                        # A crash anywhere is the whole process dying:
+                        # drop every in-memory object and recover the
+                        # full fleet (and fresh standbys) from disk.
+                        run.fleet_restarts += 1
+                        fleet.close()
+                        fleet, standbys = _build_fleet(
+                            cfg, state_path, plane, run
+                        )
+                        tf = fleet.tenants[tenant]
+                        continue
+                    if response.get("ok"):
+                        break
+                    if response.get("code") == "degraded":
+                        run.degraded_recoveries += 1
+                        if tf.dead:
+                            _promote_dead(fleet, standbys, run)
+                        snap = fleet.handle_request(
+                            tenant, {"op": "snapshot"}
+                        )
+                        if not snap.get("ok"):  # pragma: no cover
+                            raise ReproError(
+                                f"snapshot failed to clear degraded: "
+                                f"{snap}"
+                            )
+                        continue
+                    if "down" in str(response.get("error", "")):
+                        # The op needs a dead shard: this is the
+                        # failover moment, with the rest of the fleet's
+                        # traffic already committed around it.
+                        run.ops_while_dead += 1
+                        _promote_dead(fleet, standbys, run)
+                        continue
+                    raise ReproError(
+                        f"fleet op {entry.index} ({tenant}) failed "
+                        f"hard: {response}"
+                    )
+                else:  # pragma: no cover - defensive
+                    raise ReproError(
+                        f"fleet op {entry.index} did not converge in "
+                        f"{_MAX_ATTEMPTS} attempts"
+                    )
+                plane.disarm(SITE_JOURNAL_APPEND)
+                if response.get("duplicate"):
+                    run.duplicate_acks += 1
+                _apply_outcome(
+                    request, response, run.live[tenant],
+                    run.outcomes[tenant],
+                )
+
+            # Leave no primary dead: promote stragglers so the final
+            # fleet (and the fresh recovery below) is fully serving.
+            _promote_dead(fleet, standbys, run)
+            live_shas = {
+                t: fleet.tenants[t].fingerprint()[0]
+                for t in fleet.tenants
+            }
+        finally:
+            fleet.close()
+
+        # The verdict: a fresh, fault-free fleet recovered from the
+        # chaos run's disks must land on each oracle's exact state.
+        final = Fleet(
+            cfg.tenant_specs(), shards=cfg.shards, state_dir=state_path
+        )
+        try:
+            recovered: Dict[str, Tuple[str, Dict[str, Any]]] = {
+                t: final.tenants[t].fingerprint() for t in final.tenants
+            }
+        finally:
+            final.close()
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    acked_then_lost: Dict[str, List[int]] = {}
+    phantom_ids: Dict[str, List[int]] = {}
+    mismatches = 0
+    for tenant, outcomes in run.outcomes.items():
+        expected: set = set()
+        for outcome in outcomes:
+            if outcome["op"] == "admit" and outcome["admitted"]:
+                expected.update(outcome["ids"])
+            elif outcome["op"] == "release":
+                expected.difference_update(outcome["ids"])
+        got_ids = {int(sid) for sid in recovered[tenant][1]["streams"]}
+        lost = sorted(expected - got_ids)
+        phantom = sorted(got_ids - expected)
+        if lost:
+            acked_then_lost[tenant] = lost
+        if phantom:
+            phantom_ids[tenant] = phantom
+        mismatches += sum(
+            1 for got, want in zip(outcomes, oracle_outcomes[tenant])
+            if got != want
+        ) + abs(len(outcomes) - len(oracle_outcomes[tenant]))
+
+    return FleetChaosReport(
+        seed=cfg.seed,
+        ops=cfg.ops,
+        tenants=cfg.tenants,
+        shards=cfg.shards,
+        committed=sum(len(o) for o in run.outcomes.values()),
+        faults_total=plane.total_fired(),
+        faults_by_layer=plane.counts_by_layer(),
+        fleet_restarts=run.fleet_restarts,
+        kills=run.kills,
+        promotions=run.promotions,
+        ops_while_dead=run.ops_while_dead,
+        degraded_recoveries=run.degraded_recoveries,
+        duplicate_acks=run.duplicate_acks,
+        outcome_mismatches=mismatches,
+        oracle_shas=oracle_shas,
+        live_shas=live_shas,
+        recovered_shas={t: sha for t, (sha, _) in recovered.items()},
+        acked_then_lost=acked_then_lost,
+        phantom_ids=phantom_ids,
+        seconds=time.perf_counter() - t0,
+    )
+
+
+@dataclass
+class FleetChaosReport:
+    """Outcome of one fleet campaign (``repro chaos --fleet``)."""
+
+    seed: int
+    ops: int
+    tenants: int
+    shards: int
+    committed: int
+    faults_total: int
+    faults_by_layer: Dict[str, Dict[str, int]]
+    fleet_restarts: int
+    kills: int
+    promotions: int
+    ops_while_dead: int
+    degraded_recoveries: int
+    duplicate_acks: int
+    outcome_mismatches: int
+    oracle_shas: Dict[str, str]
+    live_shas: Dict[str, str]
+    recovered_shas: Dict[str, str]
+    acked_then_lost: Dict[str, List[int]]
+    phantom_ids: Dict[str, List[int]]
+    seconds: float
+
+    @property
+    def bit_identical(self) -> bool:
+        """Both the surviving fleet and a fresh disk recovery match
+        every tenant's single-engine oracle."""
+        return all(
+            self.live_shas.get(t) == sha and self.recovered_shas.get(t) == sha
+            for t, sha in self.oracle_shas.items()
+        )
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.bit_identical
+            and not self.acked_then_lost
+            and not self.phantom_ids
+            and self.outcome_mismatches == 0
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "ops": self.ops,
+            "tenants": self.tenants,
+            "shards": self.shards,
+            "committed": self.committed,
+            "faults": {
+                "total": self.faults_total,
+                "by_layer": self.faults_by_layer,
+            },
+            "fleet_restarts": self.fleet_restarts,
+            "kills": self.kills,
+            "promotions": self.promotions,
+            "ops_while_dead": self.ops_while_dead,
+            "degraded_recoveries": self.degraded_recoveries,
+            "duplicate_acks": self.duplicate_acks,
+            "outcome_mismatches": self.outcome_mismatches,
+            "oracle_shas": self.oracle_shas,
+            "live_shas": self.live_shas,
+            "recovered_shas": self.recovered_shas,
+            "bit_identical": self.bit_identical,
+            "acked_then_lost": self.acked_then_lost,
+            "phantom_ids": self.phantom_ids,
+            "seconds": round(self.seconds, 3),
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "FAILED"
+        return (
+            f"fleet chaos seed={self.seed}: {self.ops} ops over "
+            f"{self.tenants} tenants x {self.shards} shards, "
+            f"{self.faults_total} faults, {self.fleet_restarts} fleet "
+            f"restarts, {self.kills} kills -> {self.promotions} "
+            f"promotions ({self.ops_while_dead} ops hit a dead shard), "
+            f"{self.duplicate_acks} duplicate acks -> recovery "
+            f"{'bit-identical' if self.bit_identical else 'DIVERGED'}, "
+            f"{sum(map(len, self.acked_then_lost.values()))} "
+            f"acked-then-lost [{verdict}] ({self.seconds:.1f}s)"
+        )

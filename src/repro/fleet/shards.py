@@ -1,0 +1,863 @@
+"""Shard manager: one tenant's admission state across N engine shards.
+
+Placement model
+---------------
+Every tenant owns a full topology and a pool of
+:class:`~repro.service.host.EngineHost` shards over it. Streams are
+placed by *channel-connected component* (:mod:`repro.fleet.regions`):
+
+* a batch whose channels touch no admitted stream goes to the
+  least-loaded shard (deterministic tie-break by shard index);
+* a batch touching exactly one shard's streams goes to that shard;
+* a batch whose channels bridge components living on two or more shards
+  *escalates*: the foreign components migrate to a single target shard
+  (the one already holding the most involved streams) and the batch is
+  decided there, against its complete closure.
+
+The invariant maintained is that a channel-connected component never
+spans two shards. Under it every verdict an engine computes sees the
+stream's entire transitive HP closure, so fleet decisions are
+*bit-identical* to a single engine admitting the same op stream — the
+property test in ``tests/test_fleet_equivalence.py`` fuzzes exactly
+this claim, and the migration path makes it a safety property rather
+than a heuristic.
+
+Migration is admit-then-release: the target shard journals the admission
+of the moved streams before the source journals their release, so a
+crash between the two leaves *duplicates* (identical specs on both
+shards) rather than losses. Fleet recovery detects both artefacts —
+duplicate ids and components left spanning shards — and repairs them
+through the same journaled ops.
+
+Id allocation lives at the tenant level (the fleet mirrors the engine's
+``fresh_id`` / high-water-mark semantics exactly), because ids must come
+out identical to the single-engine reference regardless of placement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import time
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from .. import __version__
+from ..core import backends as _backends
+from ..errors import AnalysisError, ReproError, StreamError
+from ..faults.plane import FaultPlane
+from ..io import stream_from_spec, stream_to_spec, topology_from_spec
+from ..obs.trace import span as _span
+from ..service.host import DegradedError, EngineHost
+from ..service.metrics import ServiceMetrics
+from ..service.persistence import RID_CAP
+from ..service.protocol import (
+    ProtocolError,
+    coerce_int,
+    coerce_rid,
+    error_response,
+)
+from ..topology.route_table import shared_route_table
+from .regions import Channel, ChannelIndex, entry_channels
+
+__all__ = ["TenantFleet", "Fleet", "TenantSpec"]
+
+logger = logging.getLogger(__name__)
+
+_CODE_TO_ERROR = {
+    "degraded": DegradedError,
+    "protocol": ProtocolError,
+    "stream": StreamError,
+    "analysis": AnalysisError,
+}
+
+
+def _error_code(exc: ReproError) -> str:
+    for code, cls in _CODE_TO_ERROR.items():
+        if isinstance(exc, cls):
+            return code
+    return "error"
+
+
+class TenantSpec:
+    """Static description of one tenant: name, auth key, topology."""
+
+    def __init__(
+        self,
+        name: str,
+        api_key: str,
+        topology_spec: Dict[str, Any],
+        *,
+        analysis: Optional[str] = None,
+    ):
+        if not name or "/" in name or name != name.strip():
+            raise ReproError(f"invalid tenant name {name!r}")
+        self.name = name
+        self.api_key = api_key
+        self.topology_spec = dict(topology_spec)
+        self.analysis = analysis
+
+
+class TenantFleet:
+    """One tenant's engines: placement, escalation, merged decisions."""
+
+    def __init__(
+        self,
+        name: str,
+        topology_spec: Dict[str, Any],
+        *,
+        shards: int = 2,
+        state_dir: Optional[Union[str, Path]] = None,
+        use_modify: bool = True,
+        residency_margin: int = 0,
+        analysis: Optional[str] = None,
+        incremental: Optional[bool] = None,
+        fault_plane: Optional[FaultPlane] = None,
+    ):
+        if shards < 1:
+            raise ReproError(f"need at least one shard, got {shards}")
+        self.name = name
+        self.topology_spec = dict(topology_spec)
+        self.topology, self.routing = topology_from_spec(self.topology_spec)
+        self._route_table = shared_route_table(self.routing)
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.fault_plane = fault_plane
+        self.hosts: List[EngineHost] = [
+            EngineHost(
+                self.topology_spec,
+                state_dir=(
+                    None if self.state_dir is None
+                    else self.state_dir / f"shard-{i}"
+                ),
+                use_modify=use_modify,
+                residency_margin=residency_margin,
+                analysis=analysis,
+                incremental=incremental,
+                fault_plane=fault_plane,
+            )
+            for i in range(shards)
+        ]
+        self.metrics = ServiceMetrics()
+        #: sid -> shard index currently holding the stream.
+        self.owner: Dict[int, int] = {}
+        self.index = ChannelIndex()
+        #: Tenant-level fresh-id mark, mirroring the engine's semantics.
+        self._next_id = 0
+        #: rid -> recorded outcome (fleet-level idempotency).
+        self._applied: Dict[str, Dict[str, Any]] = {}
+        self.escalations = 0
+        self.migrated_streams = 0
+        #: Shards whose primary crashed and has not been failed over yet.
+        self.dead: Set[int] = set()
+        if self.state_dir is not None:
+            self._recover_fleet()
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+
+    def _recover_fleet(self) -> None:
+        """Rebuild placement state from recovered shards and repair the
+        component invariant.
+
+        Each shard has already recovered its own snapshot + journal. Two
+        artefacts of the migration crash window are possible and both
+        are repaired here through normal journaled ops:
+
+        * **duplicate ids** (target admitted, source never released):
+          both copies are identical specs, so the copy on the
+          lowest-indexed shard is kept and the others are released;
+        * **components spanning shards** (partial multi-source
+          migration): re-merged via the same migration path a live
+          escalation uses.
+        """
+        seen: Dict[int, int] = {}
+        for i, host in enumerate(self.hosts):
+            for sid in sorted(host.engine.admitted.ids()):
+                if sid in seen:
+                    logger.warning(
+                        "tenant %s: stream %d duplicated on shards %d/%d "
+                        "(migration crash window); releasing the copy on "
+                        "shard %d", self.name, sid, seen[sid], i, i,
+                    )
+                    self._forward(host, {"op": "release", "ids": [sid]})
+                    continue
+                seen[sid] = i
+        for sid, shard in seen.items():
+            self.owner[sid] = shard
+            self.index.add(sid, self._stream_channels(
+                self.hosts[shard].engine.admitted[sid]
+            ))
+        # Re-merge any component the crash left spanning shards.
+        for comp in self.index.components():
+            shards_touched = sorted({self.owner[sid] for sid in comp})
+            if len(shards_touched) > 1:
+                target = self._escalation_target(comp)
+                logger.warning(
+                    "tenant %s: component %s spans shards %s; migrating "
+                    "to shard %d", self.name, sorted(comp), shards_touched,
+                    target,
+                )
+                self._migrate(comp, target)
+        # High-water mark: the engines persist theirs per shard; the
+        # tenant mark is the max (never below max(admitted) + 1).
+        self._next_id = max(
+            [h.engine.next_id for h in self.hosts]
+            + [sid + 1 for sid in self.owner]
+            + [0]
+        )
+        # Idempotency: an admit's rid lives on one shard; a cross-shard
+        # release's rid lives on several, each holding its subset — merge
+        # the released lists (sorted; the request order is not recorded).
+        for host in self.hosts:
+            for rid, outcome in host._applied.items():
+                prior = self._applied.get(rid)
+                if (prior and "released" in prior
+                        and "released" in outcome):
+                    merged = sorted(
+                        set(prior["released"]) | set(outcome["released"])
+                    )
+                    self._applied[rid] = {"released": merged}
+                else:
+                    self._applied[rid] = dict(outcome)
+
+    # ------------------------------------------------------------------ #
+    # Placement helpers
+    # ------------------------------------------------------------------ #
+
+    def _stream_channels(self, stream) -> FrozenSet[Channel]:
+        return entry_channels(
+            self._route_table, self.topology, stream.src, stream.dst
+        )
+
+    def _fresh_id(self) -> int:
+        while self._next_id in self.owner:
+            self._next_id += 1
+        nid = self._next_id
+        self._next_id += 1
+        return nid
+
+    def _reset_next_id(self, value: int) -> None:
+        floor = max((sid + 1 for sid in self.owner), default=0)
+        self._next_id = max(int(value), floor)
+
+    def _least_loaded(self) -> int:
+        return min(
+            range(len(self.hosts)),
+            key=lambda i: (len(self.hosts[i].engine.admitted), i),
+        )
+
+    def _escalation_target(self, comp: Set[int]) -> int:
+        """The shard keeping its streams in a cross-shard merge: the one
+        already holding the most involved streams (ties to the lowest
+        index), so escalation moves the minimum number of streams."""
+        load: Dict[int, int] = {}
+        for sid in comp:
+            load[self.owner[sid]] = load.get(self.owner[sid], 0) + 1
+        return max(sorted(load), key=lambda s: load[s])
+
+    def _forward(
+        self, host: EngineHost, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Run a sub-op on a shard; re-raise its errors as exceptions.
+
+        The shard host returns protocol error *responses*; placement
+        logic needs exceptions (so the fleet-level handler emits exactly
+        one error response, with the shard's message and code preserved).
+        """
+        response = host.handle_request(request)
+        if response.get("ok"):
+            return response
+        raise _CODE_TO_ERROR.get(response.get("code"), ReproError)(
+            response.get("error", "shard error")
+        )
+
+    def _gate_shards(self, shard_indexes: Set[int]) -> None:
+        """Refuse a mutation while any involved shard is down or
+        read-only.
+
+        Checked before anything (migration included) mutates, so a
+        degraded shard can never strand a half-escalated component."""
+        for i in sorted(shard_indexes):
+            if i in self.dead:
+                raise ReproError(
+                    f"shard {i} is down; fail over to its standby"
+                )
+            host = self.hosts[i]
+            if host.degraded:
+                raise DegradedError(
+                    f"broker is read-only ({host.degraded_reason}); "
+                    "retry after a successful 'snapshot' op"
+                )
+
+    def _migrate(self, comp: Set[int], target: int) -> None:
+        """Move every stream of ``comp`` not on ``target`` onto it.
+
+        Admit-then-release per source shard: the target journals the
+        admission first, so a crash in between duplicates (recoverable)
+        instead of losing acked streams. A journal failure on the source
+        release rolls the target admission back, leaving placement
+        unchanged.
+        """
+        by_source: Dict[int, List[int]] = {}
+        for sid in comp:
+            shard = self.owner[sid]
+            if shard != target:
+                by_source.setdefault(shard, []).append(sid)
+        if not by_source:
+            return
+        self.escalations += 1
+        for source in sorted(by_source):
+            ids = sorted(by_source[source])
+            src_host = self.hosts[source]
+            groups: Dict[str, List[dict]] = {}
+            for sid in ids:
+                groups.setdefault(
+                    src_host.engine.analysis_of(sid), []
+                ).append(stream_to_spec(src_host.engine.admitted[sid]))
+            admitted_groups: List[Tuple[str, List[dict]]] = []
+            try:
+                for name in sorted(groups):
+                    response = self._forward(
+                        self.hosts[target],
+                        {"op": "admit", "streams": groups[name],
+                         "analysis": name},
+                    )
+                    if not response["admitted"]:  # pragma: no cover
+                        raise ReproError(
+                            f"migration admit of {ids} rejected on shard "
+                            f"{target}; the moved set was feasible in "
+                            "place, so this is a placement bug"
+                        )
+                    admitted_groups.append((name, groups[name]))
+                self._forward(src_host, {"op": "release", "ids": ids})
+            except ReproError:
+                # Undo the target-side admissions so a failed migration
+                # leaves placement exactly as it was.
+                undo = [e["id"] for _, g in admitted_groups for e in g]
+                if undo:
+                    self._forward(
+                        self.hosts[target], {"op": "release", "ids": undo}
+                    )
+                raise
+            for sid in ids:
+                self.owner[sid] = target
+            self.migrated_streams += len(ids)
+
+    # ------------------------------------------------------------------ #
+    # Protocol surface (same ops and response shapes as the broker)
+    # ------------------------------------------------------------------ #
+
+    def handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one protocol request against the sharded tenant."""
+        op = request.get("op")
+        t0 = time.perf_counter() if self.metrics.timing_enabled else None
+        try:
+            with _span("fleet.op", "fleet", op=str(op), tenant=self.name):
+                response = self._dispatch(op, request)
+            response["ok"] = True
+            if "id" in request:
+                response["id"] = request["id"]
+            self.metrics.record_op(
+                op, None if t0 is None else time.perf_counter() - t0
+            )
+            return response
+        except ReproError as exc:
+            self.metrics.record_op(
+                op or "invalid",
+                None if t0 is None else time.perf_counter() - t0,
+                error=True,
+            )
+            return error_response(request, str(exc), code=_error_code(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("internal error handling %r", op)
+            self.metrics.record_op(
+                op or "invalid",
+                None if t0 is None else time.perf_counter() - t0,
+                error=True,
+            )
+            return error_response(
+                request,
+                f"internal error handling {op!r}: {exc!r}",
+                code="internal",
+            )
+
+    def _dispatch(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
+        if op in ("hello", "ping"):
+            return {
+                "server": "repro-fleet",
+                "version": __version__,
+                "topology": self.topology_spec,
+                "nodes": self.topology.num_nodes,
+                "incremental": self.hosts[0].engine.incremental,
+                "analyses": list(_backends.names()),
+                "default_analysis": self.hosts[0].engine.default_analysis,
+                "shards": len(self.hosts),
+                "tenant": self.name,
+            }
+        if op == "admit":
+            return self._op_admit(request)
+        if op == "release":
+            return self._op_release(request)
+        if op == "query":
+            return self._op_query(request)
+        if op == "report":
+            self._gate_dead()
+            return self._merged_report()
+        if op == "snapshot":
+            self._gate_dead()
+            return self._op_snapshot()
+        if op == "stats":
+            return {
+                "service": self.metrics.to_dict(),
+                "shards": [
+                    {
+                        "admitted": len(h.engine.admitted),
+                        "degraded": h.degraded,
+                        "engine": h.engine.stats.to_dict(),
+                    }
+                    for h in self.hosts
+                ],
+                "admitted": len(self.owner),
+                "escalations": self.escalations,
+                "migrated_streams": self.migrated_streams,
+                "degraded": self.degraded,
+            }
+        raise ProtocolError(f"unknown op {op!r}")
+
+    @property
+    def degraded(self) -> bool:
+        return any(h.degraded for h in self.hosts)
+
+    def _record_applied(
+        self, rid: Optional[str], outcome: Dict[str, Any]
+    ) -> None:
+        if rid is None:
+            return
+        self._applied[str(rid)] = outcome
+        while len(self._applied) > RID_CAP:
+            del self._applied[next(iter(self._applied))]
+
+    def _duplicate_response(
+        self, rid: Optional[str]
+    ) -> Optional[Dict[str, Any]]:
+        if rid is None or rid not in self._applied:
+            return None
+        self.metrics.duplicates += 1
+        response = dict(self._applied[rid])
+        response["duplicate"] = True
+        return response
+
+    def _op_admit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        rid = coerce_rid(request)
+        duplicate = self._duplicate_response(rid)
+        if duplicate is not None:
+            return duplicate
+        entries = request.get("streams")
+        if not isinstance(entries, list) or not entries:
+            raise ProtocolError("'admit' needs a non-empty 'streams' list")
+        analysis = request.get("analysis")
+        if analysis is not None:
+            if not isinstance(analysis, str):
+                raise ProtocolError(
+                    f"'analysis' must be a string, got {analysis!r}"
+                )
+            if analysis not in _backends.names():
+                raise ProtocolError(
+                    f"unknown analysis backend {analysis!r} (known: "
+                    f"{', '.join(_backends.names())})"
+                )
+        next_id_before = self._next_id
+        # Build the batch with tenant-level ids, mirroring the engine's
+        # fresh-id semantics exactly (ids must match the single-engine
+        # reference regardless of placement).
+        streams = []
+        for entry in entries:
+            if not isinstance(entry, dict):
+                raise ProtocolError("'streams' entries must be objects")
+            sid = (coerce_int(entry["id"], "stream entry 'id'")
+                   if entry.get("id") is not None
+                   else self._fresh_id())
+            try:
+                streams.append(
+                    stream_from_spec(self.topology, entry, stream_id=sid)
+                )
+            except (ValueError, TypeError) as exc:
+                raise ProtocolError(
+                    f"invalid stream entry (id {sid}): {exc}"
+                ) from None
+        ids = [s.stream_id for s in streams]
+        dup = [sid for sid in ids if sid in self.owner]
+        if dup or len(set(ids)) != len(ids):
+            raise StreamError(
+                f"duplicate stream id(s) in admission request: "
+                f"{sorted(set(dup or ids))}"
+            )
+        top = max(ids)
+        if top >= self._next_id:
+            self._next_id = top + 1
+        # Placement: which shards hold components the batch touches?
+        batch_channels: Set[Channel] = set()
+        for s in streams:
+            batch_channels |= self._stream_channels(s)
+        comp = self.index.component(batch_channels)
+        shards_touched = sorted({self.owner[sid] for sid in comp})
+        if not shards_touched:
+            target = self._least_loaded()
+        elif len(shards_touched) == 1:
+            target = shards_touched[0]
+        else:
+            target = self._escalation_target(comp)
+        involved = set(shards_touched) | {target}
+        try:
+            self._gate_shards(involved)
+            if len(shards_touched) > 1:
+                self._migrate(comp, target)
+            fwd: Dict[str, Any] = {
+                "op": "admit",
+                "streams": [stream_to_spec(s) for s in streams],
+            }
+            if analysis is not None:
+                fwd["analysis"] = analysis
+            if rid is not None:
+                fwd["rid"] = rid
+            response = self._forward(self.hosts[target], fwd)
+        except ReproError:
+            # Mirrors the engine's reset on an uncommitted batch: the
+            # trial ids were never acknowledged, so a retry of the same
+            # request re-evaluates with the same ids.
+            self._reset_next_id(next_id_before)
+            raise
+        if response.get("duplicate"):
+            # The shard had the rid but the fleet table didn't (possible
+            # only around RID_CAP eviction skew): pass the recorded
+            # outcome through; there is no fresh decision to merge.
+            self._reset_next_id(next_id_before)
+            return {k: v for k, v in response.items() if k != "ok"}
+        if response["admitted"]:
+            for s in streams:
+                self.owner[s.stream_id] = target
+                self.index.add(s.stream_id, self._stream_channels(s))
+            self._record_applied(rid, {"admitted": True, "ids": ids})
+        else:
+            self._reset_next_id(next_id_before)
+        # The shard's decision report covers its own streams; the
+        # single-engine reference reports bounds for the whole admitted
+        # set. Untouched shards' verdicts are unchanged by this op (their
+        # closures don't reach the batch), so merging their cached bounds
+        # reconstructs the reference response exactly.
+        bounds = dict(response["bounds"])
+        for sid, shard in self.owner.items():
+            if shard != target:
+                bounds[str(sid)] = (
+                    self.hosts[shard].engine.verdict(sid).upper_bound
+                )
+        response["bounds"] = bounds
+        response.pop("ok", None)
+        response.pop("duplicate", None)
+        return response
+
+    def _op_release(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        rid = coerce_rid(request)
+        duplicate = self._duplicate_response(rid)
+        if duplicate is not None:
+            return duplicate
+        raw = request.get("ids")
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError("'release' needs a non-empty 'ids' list")
+        raw = [coerce_int(i, "'release' id") for i in raw]
+        ids = list(dict.fromkeys(raw))
+        unknown = sorted(sid for sid in ids if sid not in self.owner)
+        if unknown:
+            raise StreamError(
+                f"cannot release stream id(s) {unknown}: not admitted"
+            )
+        groups: Dict[int, List[int]] = {}
+        for sid in ids:
+            groups.setdefault(self.owner[sid], []).append(sid)
+        self._gate_shards(set(groups))
+        # All-or-nothing across shards: on a mid-sequence journal
+        # failure, compensate the shards that already committed by
+        # re-admitting the captured specs, so the client's error means
+        # "nothing was released" on every shard.
+        done: List[Tuple[int, Dict[str, List[dict]]]] = []
+        for shard in sorted(groups):
+            host = self.hosts[shard]
+            saved: Dict[str, List[dict]] = {}
+            for sid in groups[shard]:
+                saved.setdefault(
+                    host.engine.analysis_of(sid), []
+                ).append(stream_to_spec(host.engine.admitted[sid]))
+            sub: Dict[str, Any] = {"op": "release", "ids": groups[shard]}
+            if rid is not None:
+                sub["rid"] = rid
+            try:
+                self._forward(host, sub)
+            except ReproError:
+                self._compensate_release(done, rid)
+                raise
+            done.append((shard, saved))
+        for sid in ids:
+            del self.owner[sid]
+            self.index.remove(sid)
+        self._record_applied(rid, {"released": raw})
+        return {"released": raw}
+
+    def _compensate_release(
+        self,
+        done: List[Tuple[int, Dict[str, List[dict]]]],
+        rid: Optional[str],
+    ) -> None:
+        """Re-admit already-released subsets of a failed cross-shard
+        release (journaled, like the release was), and drop the rid
+        record so a client retry re-applies on every shard."""
+        for shard, saved in done:
+            host = self.hosts[shard]
+            for name in sorted(saved):
+                response = self._forward(
+                    host, {"op": "admit", "streams": saved[name],
+                           "analysis": name},
+                )
+                if not response["admitted"]:  # pragma: no cover
+                    raise ReproError(
+                        f"release rollback re-admission of "
+                        f"{[e['id'] for e in saved[name]]} rejected on "
+                        f"shard {shard}; state diverged from the journal"
+                    )
+            if rid is not None:
+                # The sub-release's rid record would otherwise satisfy a
+                # retry without re-applying.
+                host._applied.pop(rid, None)
+
+    def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        sid = request.get("stream")
+        if sid is None:
+            raise ProtocolError("'query' needs a 'stream' id")
+        sid = coerce_int(sid, "'query' stream")
+        if sid not in self.owner:
+            raise StreamError(f"no admitted stream with id {sid}")
+        if self.owner[sid] in self.dead:
+            raise ReproError(
+                f"shard {self.owner[sid]} is down; fail over to its standby"
+            )
+        return {
+            k: v
+            for k, v in self._forward(
+                self.hosts[self.owner[sid]], {"op": "query", "stream": sid}
+            ).items()
+            if k != "ok"
+        }
+
+    def _merged_report(self) -> Dict[str, Any]:
+        """The tenant-wide feasibility report, merged across shards.
+
+        Identical to a single engine's ``report`` over the union: each
+        stream's verdict is computed against its full closure (the
+        component invariant), and ``success`` is the conjunction.
+        """
+        success = True
+        streams: Dict[str, Any] = {}
+        total = 0
+        for host in self.hosts:
+            sub = self._forward(host, {"op": "report"})
+            success = success and sub["report"]["success"]
+            streams.update(sub["report"]["streams"])
+            total += sub["admitted"]
+        report = {
+            "success": success,
+            "streams": {k: streams[k] for k in sorted(streams, key=int)},
+        }
+        return {"report": report, "admitted": total}
+
+    def _op_snapshot(self) -> Dict[str, Any]:
+        paths = []
+        cleared = False
+        for host in self.hosts:
+            sub = self._forward(host, {"op": "snapshot"})
+            paths.append(sub["path"])
+            cleared = cleared or sub.get("degraded_cleared", False)
+        response: Dict[str, Any] = {
+            "paths": paths, "streams": len(self.owner),
+        }
+        if cleared:
+            response["degraded_cleared"] = True
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Fingerprint + lifecycle
+    # ------------------------------------------------------------------ #
+
+    def fingerprint(self) -> Tuple[str, Dict[str, Any]]:
+        """``(sha256, spec)`` over the tenant's merged state.
+
+        Byte-identical to :meth:`EngineHost.fingerprint` on a single
+        engine holding the same streams — the acceptance check the
+        equivalence and failover tests assert.
+        """
+        report = self.handle_request({"op": "report"})
+        if not report.get("ok"):  # pragma: no cover - defensive
+            raise ReproError(f"report failed while fingerprinting: {report}")
+        streams: Dict[str, Any] = {}
+        for sid in sorted(self.owner):
+            query = self.handle_request({"op": "query", "stream": sid})
+            if not query.get("ok"):  # pragma: no cover - defensive
+                raise ReproError(f"query {sid} failed: {query}")
+            streams[str(sid)] = {
+                "stream": query["stream"],
+                "upper_bound": query["upper_bound"],
+                "feasible": query["feasible"],
+                "slack": query["slack"],
+                "closure": query["closure"],
+            }
+        spec = {
+            "streams": streams,
+            "next_id": self._next_id,
+            "report": report["report"],
+            "admitted": report["admitted"],
+        }
+        blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest(), spec
+
+    def _gate_dead(self) -> None:
+        if self.dead:
+            raise ReproError(
+                f"shard(s) {sorted(self.dead)} are down; fail over to "
+                "their standbys"
+            )
+
+    def kill_host(self, shard: int) -> None:
+        """Simulate a primary crash: the shard stops serving immediately.
+
+        Nothing is flushed or closed — every committed journal record is
+        already fsynced, which is exactly what a real process death
+        leaves behind. Ops needing the shard fail until
+        :meth:`replace_host` installs a successor.
+        """
+        if not 0 <= shard < len(self.hosts):
+            raise ReproError(f"no shard {shard} (have {len(self.hosts)})")
+        self.dead.add(shard)
+
+    def replace_host(self, shard: int, host: EngineHost) -> None:
+        """Swap in a promoted host for a failed primary (failover)."""
+        self.hosts[shard] = host
+        self.dead.discard(shard)
+
+    def close(self) -> None:
+        for host in self.hosts:
+            host.close()
+
+
+class Fleet:
+    """All tenants: API-key routing, metrics rollup, lifecycle."""
+
+    def __init__(
+        self,
+        tenants: List[TenantSpec],
+        *,
+        shards: int = 2,
+        state_dir: Optional[Union[str, Path]] = None,
+        incremental: Optional[bool] = None,
+        fault_plane: Optional[FaultPlane] = None,
+    ):
+        if not tenants:
+            raise ReproError("fleet needs at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate tenant names: {sorted(names)}")
+        keys = [t.api_key for t in tenants]
+        if len(set(keys)) != len(keys):
+            raise ReproError("tenant api keys must be unique")
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.tenants: Dict[str, TenantFleet] = {
+            t.name: TenantFleet(
+                t.name,
+                t.topology_spec,
+                shards=shards,
+                state_dir=(
+                    None if self.state_dir is None
+                    else self.state_dir / t.name
+                ),
+                analysis=t.analysis,
+                incremental=incremental,
+                fault_plane=fault_plane,
+            )
+            for t in tenants
+        }
+        self._keys: Dict[str, str] = {t.api_key: t.name for t in tenants}
+
+    def tenant_for_key(self, api_key: Optional[str]) -> Optional[str]:
+        if api_key is None:
+            return None
+        return self._keys.get(api_key)
+
+    def handle_request(
+        self, tenant: str, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        tf = self.tenants.get(tenant)
+        if tf is None:
+            return error_response(
+                request, f"unknown tenant {tenant!r}", code="auth"
+            )
+        return tf.handle_request(request)
+
+    def healthy(self) -> bool:
+        return not any(
+            tf.dead or tf.degraded for tf in self.tenants.values()
+        )
+
+    def prometheus_text(self, extra=None) -> str:
+        """Cross-shard Prometheus rollup, labelled by tenant and shard."""
+        from ..obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        for tname in sorted(self.tenants):
+            tf = self.tenants[tname]
+            reg.counter(
+                "repro_fleet_escalations_total",
+                "Cross-shard admissions that triggered a component "
+                "migration.",
+                tenant=tname,
+            ).value = float(tf.escalations)
+            reg.counter(
+                "repro_fleet_migrated_streams_total",
+                "Streams moved between shards by escalations.",
+                tenant=tname,
+            ).value = float(tf.migrated_streams)
+            reg.gauge(
+                "repro_fleet_tenant_streams",
+                "Streams currently admitted for the tenant.",
+                tenant=tname,
+            ).set(len(tf.owner))
+            for op, count in sorted(tf.metrics.op_counts.items()):
+                reg.counter(
+                    "repro_fleet_ops_total",
+                    "Requests handled by the fleet, by tenant and op.",
+                    tenant=tname, op=op,
+                ).value = float(count)
+            for i, host in enumerate(tf.hosts):
+                shard = str(i)
+                reg.gauge(
+                    "repro_fleet_shard_streams",
+                    "Streams admitted on the shard.",
+                    tenant=tname, shard=shard,
+                ).set(len(host.engine.admitted))
+                reg.gauge(
+                    "repro_fleet_shard_degraded",
+                    "1 while the shard is in read-only degraded mode.",
+                    tenant=tname, shard=shard,
+                ).set(1.0 if host.degraded else 0.0)
+                es = host.engine.stats
+                for field in ("ops", "admits", "rejects", "releases"):
+                    reg.counter(
+                        f"repro_fleet_shard_engine_{field}_total",
+                        f"Engine {field} on the shard.",
+                        tenant=tname, shard=shard,
+                    ).value = float(getattr(es, field))
+        if extra is not None:
+            extra(reg)
+        return reg.render()
+
+    def close(self) -> None:
+        for tf in self.tenants.values():
+            tf.close()

@@ -23,6 +23,7 @@ feasibility test. This package turns that role into a long-lived service:
 """
 
 from .engine import EngineStats, IncrementalAdmissionEngine
+from .host import DegradedError, EngineHost
 from .loadgen import BrokerClient, LoadSummary, run_load
 from .metrics import LatencyHistogram, ServiceMetrics
 from .persistence import BrokerState
@@ -31,6 +32,8 @@ from .server import BrokerServer
 __all__ = [
     "IncrementalAdmissionEngine",
     "EngineStats",
+    "EngineHost",
+    "DegradedError",
     "BrokerServer",
     "BrokerClient",
     "BrokerState",

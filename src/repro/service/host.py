@@ -1,0 +1,662 @@
+"""EngineHost: one admission engine behind the broker protocol.
+
+Historically the broker (:class:`repro.service.server.BrokerServer`)
+owned everything: the engine, persistence, idempotency, degraded mode,
+protocol dispatch *and* the asyncio front end. The fleet subsystem
+(:mod:`repro.fleet`) needs to host many engines — one per (shard,
+tenant) — without dragging a socket listener along with each, so the
+synchronous core lives here as :class:`EngineHost` and the server wraps
+exactly one of them.
+
+An :class:`EngineHost` is the unit of state the rest of the system
+composes:
+
+* ``handle_request`` executes one protocol op (the same JSON objects the
+  wire carries) against the engine, with metrics, idempotent ``rid``
+  deduplication and read-only degradation on journal failures;
+* snapshot + journal persistence and restart recovery
+  (:mod:`repro.service.persistence`), factored into
+  :meth:`load_snapshot` / :meth:`apply_journal_op` so a warm standby can
+  replay the same records the recovery path does
+  (:mod:`repro.fleet.replication`);
+* :meth:`fingerprint` — the SHA-256 identity over everything recovery
+  promises to preserve, shared by the chaos campaign and the fleet's
+  failover assertions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from .. import __version__
+from ..core import backends as _backends
+from ..core.streams import MessageStream
+from ..errors import AnalysisError, ReproError, StreamError
+from ..faults.plane import FaultPlane
+from ..io import (
+    report_to_spec,
+    stream_from_spec,
+    stream_to_spec,
+    topology_from_spec,
+)
+from ..obs.trace import span as _span
+from .engine import IncrementalAdmissionEngine
+from .metrics import ServiceMetrics
+from .persistence import RID_CAP, BrokerState
+from .protocol import (
+    ProtocolError,
+    coerce_int,
+    coerce_rid,
+    error_response,
+)
+
+__all__ = ["DegradedError", "EngineHost"]
+
+logger = logging.getLogger(__name__)
+
+
+class DegradedError(ReproError):
+    """Raised for mutations while the host is read-only (``degraded``).
+
+    Entered when the journal becomes unwritable: the failed mutation is
+    rolled back (memory must keep matching disk), and further mutations
+    are refused until a successful ``snapshot`` op re-establishes durable
+    storage. Reads and idempotent replays of already-committed mutations
+    keep working throughout.
+    """
+
+
+def _error_code(exc: ReproError) -> str:
+    if isinstance(exc, DegradedError):
+        return "degraded"
+    if isinstance(exc, ProtocolError):
+        return "protocol"
+    if isinstance(exc, StreamError):
+        return "stream"
+    if isinstance(exc, AnalysisError):
+        return "analysis"
+    return "error"
+
+
+class EngineHost:
+    """One admission engine + persistence + protocol dispatch.
+
+    Parameters
+    ----------
+    topology_spec:
+        Problem-file topology spec (``{"type": "mesh", "width": 8, ...}``).
+    state_dir:
+        Directory for snapshot + journal; ``None`` disables persistence.
+    incremental:
+        Engine mode override; ``None`` reads ``REPRO_INCREMENTAL``.
+    fault_plane:
+        Chaos-testing hook (see :mod:`repro.faults.plane`); installed
+        into the persistence layer. ``None`` in production use.
+    on_shutdown:
+        Callback invoked by the ``shutdown`` op (the server passes its
+        stop-event setter; standalone hosts leave it ``None``).
+    """
+
+    def __init__(
+        self,
+        topology_spec: Dict[str, Any],
+        *,
+        state_dir: Optional[Union[str, Path]] = None,
+        use_modify: bool = True,
+        residency_margin: int = 0,
+        analysis: Optional[str] = None,
+        incremental: Optional[bool] = None,
+        fault_plane: Optional[FaultPlane] = None,
+        on_shutdown: Optional[Callable[[], None]] = None,
+    ):
+        self.topology_spec = dict(topology_spec)
+        self.topology, self.routing = topology_from_spec(self.topology_spec)
+        self.engine = IncrementalAdmissionEngine(
+            self.routing,
+            use_modify=use_modify,
+            residency_margin=residency_margin,
+            analysis=analysis,
+            incremental=incremental,
+        )
+        self.metrics = ServiceMetrics()
+        self.on_shutdown = on_shutdown
+        #: Read-only degraded mode (journal unwritable); see DegradedError.
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        #: rid -> recorded outcome of the committed mutation (FIFO-capped).
+        self._applied: Dict[str, Dict[str, Any]] = {}
+        self.state: Optional[BrokerState] = None
+        if state_dir is not None:
+            self.state = BrokerState(
+                state_dir, self.topology_spec, fault_plane=fault_plane
+            )
+            self._recover()
+
+    # ------------------------------------------------------------------ #
+    # Recovery / replication building blocks
+    # ------------------------------------------------------------------ #
+
+    def _recover(self) -> None:
+        assert self.state is not None
+        rec = self.state.recover()
+        if rec.next_id is not None:
+            # Restore the fresh-id high-water mark so ids released before
+            # the snapshot are never reissued across restarts.
+            self.engine.advance_next_id(rec.next_id)
+        # The idempotency table survives restarts: snapshot-persisted rids
+        # first, then the rids of replayed journal entries, so a client
+        # retrying an op whose ack died with the old process still gets
+        # the committed outcome instead of a double-apply.
+        self._applied.update(rec.applied_rids)
+        if rec.snapshot:
+            self.load_snapshot(rec.snapshot)
+        for op in rec.ops:
+            self.apply_journal_op(op)
+        if rec.snapshot or rec.ops or rec.torn_tail:
+            self.compact()
+
+    def load_snapshot(self, entries: List[dict]) -> None:
+        """Replay snapshot stream entries into an empty engine.
+
+        Streams snapshotted under different bound backends replay as one
+        batch per backend. Order is irrelevant to the final state (the
+        analysis has no admission-order dependence) and every
+        intermediate set is a subset of a feasible set, hence feasible
+        itself. Also the standby's bootstrap path
+        (:mod:`repro.fleet.replication`).
+        """
+        groups: Dict[Optional[str], List[dict]] = {}
+        for entry in entries:
+            groups.setdefault(entry.get("analysis"), []).append(entry)
+        for name in sorted(groups, key=lambda n: (n is None, n or "")):
+            self._admit_entries(groups[name], replay=True, analysis=name)
+
+    def apply_journal_op(self, op: Dict[str, Any]) -> None:
+        """Apply one committed journal record to the engine.
+
+        Shared by restart recovery and the journal-shipping standby: the
+        record was only ever written after the primary's engine accepted
+        it, so replay must succeed — a failure means the disk state and
+        the engine disagree, which recovery treats as fatal.
+        """
+        rid = op.get("rid")
+        if op.get("op") == "admit":
+            ids, _ = self._admit_entries(
+                op["streams"], replay=True, analysis=op.get("analysis")
+            )
+            self._record_applied(rid, {"admitted": True, "ids": ids})
+        elif op.get("op") == "release":
+            ids = [int(i) for i in op["ids"]]
+            self.engine.release(ids)
+            self._record_applied(rid, {"released": ids})
+        else:  # pragma: no cover - defensive
+            raise ReproError(f"unknown journal op {op.get('op')!r}")
+
+    def compact(self) -> Path:
+        """Write a fresh snapshot and truncate the journal."""
+        assert self.state is not None
+        return self.state.compact(
+            self.engine.admitted,
+            next_id=self.engine.next_id,
+            applied_rids=self._applied,
+            analyses=self._admitted_analyses(),
+        )
+
+    def fingerprint(self) -> Tuple[str, Dict[str, Any]]:
+        """``(sha256, spec)`` of everything recovery promises to preserve.
+
+        Covers the admitted stream specs, each stream's delay bound /
+        feasibility / slack / HP closure, the full feasibility report and
+        the fresh-id high-water mark. Built through the public protocol
+        ops so it fingerprints what clients can observe.
+        """
+        report = self.handle_request({"op": "report"})
+        if not report.get("ok"):  # pragma: no cover - report cannot fail
+            raise ReproError(f"report failed while fingerprinting: {report}")
+        streams: Dict[str, Any] = {}
+        for sid in sorted(self.engine.admitted.ids()):
+            query = self.handle_request({"op": "query", "stream": sid})
+            if not query.get("ok"):  # pragma: no cover - defensive
+                raise ReproError(f"query {sid} failed: {query}")
+            streams[str(sid)] = {
+                "stream": query["stream"],
+                "upper_bound": query["upper_bound"],
+                "feasible": query["feasible"],
+                "slack": query["slack"],
+                "closure": query["closure"],
+            }
+        spec = {
+            "streams": streams,
+            "next_id": self.engine.next_id,
+            "report": report["report"],
+            "admitted": report["admitted"],
+        }
+        blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest(), spec
+
+    def close(self) -> None:
+        """Release persistence file handles (idempotent)."""
+        if self.state is not None:
+            self.state.close()
+
+    def _admitted_analyses(self) -> Dict[int, str]:
+        """Per-stream backend names of the admitted set (for snapshots)."""
+        return {
+            sid: self.engine.analysis_of(sid)
+            for sid in self.engine.admitted.ids()
+        }
+
+    def _admit_entries(
+        self,
+        entries: List[dict],
+        *,
+        replay: bool = False,
+        analysis: Optional[str] = None,
+    ) -> Tuple[List[int], Any]:
+        streams: List[MessageStream] = []
+        for entry in entries:
+            if not isinstance(entry, dict):
+                raise ProtocolError("'streams' entries must be objects")
+            sid = (coerce_int(entry["id"], "stream entry 'id'")
+                   if entry.get("id") is not None
+                   else self.engine.fresh_id())
+            try:
+                streams.append(
+                    stream_from_spec(self.topology, entry, stream_id=sid)
+                )
+            except (ValueError, TypeError) as exc:
+                raise ProtocolError(
+                    f"invalid stream entry (id {sid}): {exc}"
+                ) from None
+        decision = self.engine.try_admit(streams, analysis=analysis)
+        if replay and not decision.admitted:  # pragma: no cover - defensive
+            raise ReproError(
+                "journal replay failed: previously admitted batch "
+                f"{[s.stream_id for s in streams]} now rejected"
+            )
+        return [s.stream_id for s in streams], decision
+
+    # ------------------------------------------------------------------ #
+    # Op dispatch (synchronous; also the unit-test surface)
+    # ------------------------------------------------------------------ #
+
+    def handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one protocol request and return the response object."""
+        op = request.get("op")
+        # Lazy latency sampling: with REPRO_SERVICE_TIMING=0 the worker
+        # loop never reads the wall clock (counters are still kept).
+        t0 = time.perf_counter() if self.metrics.timing_enabled else None
+        try:
+            with _span("broker.op", "service", op=str(op)):
+                response = self._dispatch(op, request)
+            response["ok"] = True
+            if "id" in request:
+                response["id"] = request["id"]
+            self.metrics.record_op(
+                op, None if t0 is None else time.perf_counter() - t0
+            )
+            return response
+        except ReproError as exc:
+            self.metrics.record_op(
+                op or "invalid",
+                None if t0 is None else time.perf_counter() - t0,
+                error=True,
+            )
+            return error_response(request, str(exc), code=_error_code(exc))
+        except Exception as exc:
+            # Last-resort guard: an escaped exception would kill the single
+            # worker task and wedge every connection. Persistence failures
+            # (journal append OSError) land here too.
+            logger.exception("internal error handling %r", op)
+            self.metrics.record_op(
+                op or "invalid",
+                None if t0 is None else time.perf_counter() - t0,
+                error=True,
+            )
+            return error_response(
+                request,
+                f"internal error handling {op!r}: {exc!r}",
+                code="internal",
+            )
+
+    def _dispatch(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
+        if op in ("hello", "ping"):
+            return {
+                "server": "repro-broker",
+                "version": __version__,
+                "topology": self.topology_spec,
+                "nodes": self.topology.num_nodes,
+                "incremental": self.engine.incremental,
+                "analyses": list(_backends.names()),
+                "default_analysis": self.engine.default_analysis,
+            }
+        if op == "admit":
+            return self._op_admit(request)
+        if op == "release":
+            return self._op_release(request)
+        if op == "query":
+            return self._op_query(request)
+        if op == "report":
+            return {
+                "report": report_to_spec(self.engine.current_report()),
+                "admitted": len(self.engine.admitted),
+            }
+        if op == "snapshot":
+            if self.state is None:
+                raise ProtocolError(
+                    "server runs without persistence (no --state-dir)"
+                )
+            # Allowed (and essential) in degraded mode: a successful
+            # compaction rewrites the snapshot and truncates the journal,
+            # re-establishing durable storage.
+            try:
+                path = self.compact()
+            except OSError as exc:
+                self.metrics.journal_errors += 1
+                self._enter_degraded(f"snapshot compaction failed: {exc}")
+                raise DegradedError(
+                    f"snapshot failed ({exc}); broker stays read-only"
+                ) from None
+            cleared = self.degraded
+            self._clear_degraded()
+            response = {
+                "path": str(path), "streams": len(self.engine.admitted),
+            }
+            if cleared:
+                response["degraded_cleared"] = True
+            return response
+        if op == "stats":
+            if request.get("format") == "prometheus":
+                return {"prometheus": self.prometheus_text()}
+            return {
+                "service": self.metrics.to_dict(),
+                "engine": self.engine.stats.to_dict(),
+                "admitted": len(self.engine.admitted),
+                "degraded": self.degraded,
+            }
+        if op == "shutdown":
+            if self.on_shutdown is not None:
+                self.on_shutdown()
+            return {"stopping": True}
+        raise ProtocolError(f"unknown op {op!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # Idempotency + degraded-mode plumbing
+    # ------------------------------------------------------------------ #
+
+    def _record_applied(
+        self, rid: Optional[str], outcome: Dict[str, Any]
+    ) -> None:
+        """Remember a committed mutation's outcome under its rid."""
+        if rid is None:
+            return
+        self._applied[str(rid)] = outcome
+        while len(self._applied) > RID_CAP:
+            del self._applied[next(iter(self._applied))]
+
+    def _duplicate_response(
+        self, rid: Optional[str]
+    ) -> Optional[Dict[str, Any]]:
+        """The recorded outcome for an already-applied rid, or ``None``.
+
+        Checked *before* the degraded gate: replaying a committed
+        mutation writes nothing, so it stays safe while read-only — and
+        that is exactly when crash-induced retries arrive.
+        """
+        if rid is None or rid not in self._applied:
+            return None
+        self.metrics.duplicates += 1
+        response = dict(self._applied[rid])
+        response["duplicate"] = True
+        return response
+
+    def _mutation_gate(self) -> None:
+        if self.degraded:
+            raise DegradedError(
+                f"broker is read-only ({self.degraded_reason}); "
+                "retry after a successful 'snapshot' op"
+            )
+
+    def _journal_commit(self, entry: Dict[str, Any], rollback) -> None:
+        """Append a committed mutation; on failure undo it and degrade.
+
+        ``BrokerState.append`` has already repaired the journal (the
+        record is guaranteed absent from disk), so after ``rollback()``
+        memory and disk agree that the op never happened — the client
+        gets a ``degraded`` error, never a silent divergence.
+        """
+        assert self.state is not None
+        try:
+            self.state.append(entry)
+        except OSError as exc:
+            self.metrics.journal_errors += 1
+            rollback()
+            self._enter_degraded(f"journal append failed: {exc}")
+            raise DegradedError(
+                f"journal unwritable ({exc}); mutation rolled back, "
+                "broker is read-only until a successful snapshot"
+            ) from None
+
+    def _enter_degraded(self, reason: str) -> None:
+        if not self.degraded:
+            self.metrics.degraded_entered += 1
+            logger.error("entering read-only degraded mode: %s", reason)
+        self.degraded = True
+        self.degraded_reason = reason
+
+    def _clear_degraded(self) -> None:
+        if self.degraded:
+            logger.warning(
+                "leaving degraded mode after successful snapshot"
+            )
+        self.degraded = False
+        self.degraded_reason = None
+
+    def _op_admit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        rid = coerce_rid(request)
+        duplicate = self._duplicate_response(rid)
+        if duplicate is not None:
+            return duplicate
+        self._mutation_gate()
+        entries = request.get("streams")
+        if not isinstance(entries, list) or not entries:
+            raise ProtocolError("'admit' needs a non-empty 'streams' list")
+        analysis = request.get("analysis")
+        if analysis is not None:
+            if not isinstance(analysis, str):
+                raise ProtocolError(
+                    f"'analysis' must be a string, got {analysis!r}"
+                )
+            if analysis not in _backends.names():
+                raise ProtocolError(
+                    f"unknown analysis backend {analysis!r} (known: "
+                    f"{', '.join(_backends.names())})"
+                )
+        next_id_before = self.engine.next_id
+        ids, decision = self._admit_entries(entries, analysis=analysis)
+        response: Dict[str, Any] = {
+            "admitted": decision.admitted,
+            "ids": ids,
+            "violations": list(decision.violations),
+            "bounds": {
+                str(sid): v.upper_bound
+                for sid, v in decision.report.verdicts.items()
+            },
+        }
+        if decision.admitted:
+            response["closures"] = {
+                str(sid): list(self.engine.closure(sid)) for sid in ids
+            }
+            # Resolved name (engine default applied), so replay after a
+            # restart does not depend on the environment at restart time.
+            response["analysis"] = self.engine.analysis_of(ids[0])
+            self.metrics.admitted_ok += 1
+            if self.state is not None:
+                entry: Dict[str, Any] = {
+                    "op": "admit",
+                    "streams": [
+                        stream_to_spec(self.engine.admitted[sid])
+                        for sid in ids
+                    ],
+                    "analysis": self.engine.analysis_of(ids[0]),
+                }
+                if rid is not None:
+                    entry["rid"] = rid
+                self._journal_commit(
+                    entry,
+                    lambda: self._rollback_admit(ids, next_id_before),
+                )
+            self._record_applied(rid, {"admitted": True, "ids": ids})
+        else:
+            self.metrics.admitted_rejected += 1
+            # The trial ids of a rejected batch were never admitted, so
+            # releasing them back keeps a retry of the same (lost-ack)
+            # request id-stable with its first evaluation.
+            self.engine.reset_next_id(next_id_before)
+        return response
+
+    def _rollback_admit(self, ids: List[int], next_id_before: int) -> None:
+        self.engine.release(ids)
+        # The ids were assigned but never committed or acknowledged;
+        # reclaiming them keeps the id sequence identical to a run in
+        # which the failed admit never happened.
+        self.engine.reset_next_id(next_id_before)
+
+    def _op_release(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        rid = coerce_rid(request)
+        duplicate = self._duplicate_response(rid)
+        if duplicate is not None:
+            return duplicate
+        self._mutation_gate()
+        ids = request.get("ids")
+        if not isinstance(ids, list) or not ids:
+            raise ProtocolError("'release' needs a non-empty 'ids' list")
+        ids = [coerce_int(i, "'release' id") for i in ids]
+        # Captured before the release (stream + the backend it was vetted
+        # under) so a journal failure can restore them; unknown ids make
+        # engine.release raise before mutating.
+        removed = [
+            (self.engine.admitted[sid], self.engine.analysis_of(sid))
+            for sid in ids if sid in self.engine.admitted
+        ]
+        self.engine.release(ids)
+        if self.state is not None:
+            entry = {"op": "release", "ids": ids}
+            if rid is not None:
+                entry["rid"] = rid
+            self._journal_commit(
+                entry, lambda: self._rollback_release(removed)
+            )
+        self._record_applied(rid, {"released": ids})
+        return {"released": ids}
+
+    def _rollback_release(
+        self, removed: List[Tuple[MessageStream, str]]
+    ) -> None:
+        groups: Dict[str, List[MessageStream]] = {}
+        for stream, name in removed:
+            groups.setdefault(name, []).append(stream)
+        for name in sorted(groups):
+            decision = self.engine.try_admit(groups[name], analysis=name)
+            if not decision.admitted:  # pragma: no cover - defensive
+                # Re-admitting streams that were feasible a moment ago
+                # cannot fail; if it somehow does, crash loudly rather
+                # than serve a state that disagrees with the journal.
+                raise ReproError(
+                    "rollback re-admission rejected; broker state is "
+                    "inconsistent with the journal"
+                )
+
+    def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        sid = request.get("stream")
+        if sid is None:
+            raise ProtocolError("'query' needs a 'stream' id")
+        sid = coerce_int(sid, "'query' stream")
+        verdict = self.engine.verdict(sid)
+        return {
+            "stream": stream_to_spec(self.engine.admitted[sid]),
+            "upper_bound": verdict.upper_bound,
+            "feasible": verdict.feasible,
+            "slack": verdict.slack,
+            "closure": list(self.engine.closure(sid)),
+            "analysis": self.engine.analysis_of(sid),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Prometheus export
+    # ------------------------------------------------------------------ #
+
+    def prometheus_text(self) -> str:
+        """Service + engine metrics in Prometheus text exposition format.
+
+        Serves the ``stats`` op's ``format: "prometheus"`` variant and the
+        ``--metrics-port`` HTTP scrape endpoint. Synchronisation happens
+        per export, never per request.
+        """
+        reg = self.metrics.sync_registry()
+        es = self.engine.stats
+        reg.gauge(
+            "repro_broker_degraded",
+            "1 while the broker is in read-only degraded mode.",
+        ).set(1.0 if self.degraded else 0.0)
+        reg.gauge(
+            "repro_engine_admitted_streams",
+            "Streams currently admitted by the engine.",
+        ).set(len(self.engine.admitted))
+        for field, help_text in (
+            ("ops", "Engine operations (admit + release calls)."),
+            ("admits", "Accepted admission batches."),
+            ("rejects", "Rejected admission batches."),
+            ("releases", "Release operations."),
+            ("verdicts_recomputed", "Per-stream verdicts recomputed."),
+            ("verdicts_reused", "Per-stream verdicts served from cache."),
+            ("verdict_memo_hits", "Verdicts served from the input-keyed "
+                                  "memo without recomputation."),
+            ("hp_rebuilt", "HP sets rebuilt by graph traversal."),
+            ("hp_delta_updates", "HP sets produced from maintained reach "
+                                 "closures (delta path)."),
+            ("full_fallbacks", "Incremental ops that fell back to a full "
+                               "rebuild."),
+            ("forced_invalidations", "Forced cache invalidations "
+                                     "(chaos cache_storm hook)."),
+            ("route_cache_hits", "Route cache hits."),
+            ("route_cache_misses", "Route cache misses."),
+            ("dirty_frontier_total", "Sum of dirty-frontier sizes over "
+                                     "incremental ops."),
+        ):
+            attr = "dirty_total" if field == "dirty_frontier_total" else field
+            reg.counter(
+                f"repro_engine_{field}_total"
+                if not field.endswith("_total") else f"repro_engine_{field}",
+                help_text,
+            ).value = float(getattr(es, attr))
+        reg.gauge(
+            "repro_engine_cache_hit_rate",
+            "Fraction of per-stream verdicts served from cache.",
+        ).set(es.cache_hit_rate())
+        reg.gauge(
+            "repro_engine_dirty_frontier_last",
+            "Dirty-frontier size of the most recent incremental op.",
+        ).set(es.dirty_last)
+        reg.gauge(
+            "repro_engine_dirty_frontier_max",
+            "Largest dirty frontier seen.",
+        ).set(es.dirty_max)
+        for phase in ("route", "hp", "diagram", "verdict"):
+            reg.counter(
+                f"repro_engine_{phase}_seconds_total",
+                f"Wall-clock seconds spent in the {phase} phase of the "
+                "admission hot path.",
+            ).value = float(getattr(es, f"{phase}_seconds"))
+        return reg.render()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EngineHost(admitted={len(self.engine.admitted)}, "
+            f"degraded={self.degraded})"
+        )

@@ -8,73 +8,37 @@ CPU-bound admission engine serially, which also makes every decision
 linearisable without locks. Responses preserve per-connection request
 order because the FIFO does.
 
-The server optionally persists its admitted set (snapshot + journal, see
-:mod:`repro.service.persistence`) and recovers it on startup by replaying
-through the engine — deterministic analysis makes the recovered state
-bit-identical.
+The engine, persistence, idempotency and protocol dispatch live in
+:class:`repro.service.host.EngineHost`; the server owns exactly one host
+and adds the socket front end. The fleet (:mod:`repro.fleet`) hosts many
+of the same objects behind an HTTP gateway instead.
 """
 
 from __future__ import annotations
 
 import asyncio
 import logging
-import time
+import socket as socket_module
+import stat
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Union
 
-from .. import __version__
-from ..core import backends as _backends
-from ..core.streams import MessageStream
-from ..errors import AnalysisError, ReproError, StreamError
+from ..errors import ReproError
 from ..faults.plane import FaultPlane
-from ..io import stream_from_spec, stream_to_spec, report_to_spec, topology_from_spec
-from ..obs.trace import span as _span
-from .engine import IncrementalAdmissionEngine
-from .metrics import ServiceMetrics
-from .persistence import RID_CAP, BrokerState
-from .protocol import (
-    ProtocolError,
-    coerce_int,
-    coerce_rid,
-    decode,
-    encode,
-    error_response,
-)
+from .host import DegradedError, EngineHost
+from .protocol import ProtocolError, decode, encode, error_response
 
 __all__ = ["BrokerServer", "DegradedError"]
 
 logger = logging.getLogger(__name__)
-
-
-class DegradedError(ReproError):
-    """Raised for mutations while the broker is read-only (``degraded``).
-
-    Entered when the journal becomes unwritable: the failed mutation is
-    rolled back (memory must keep matching disk), and further mutations
-    are refused until a successful ``snapshot`` op re-establishes durable
-    storage. Reads and idempotent replays of already-committed mutations
-    keep working throughout.
-    """
 
 #: Queue sentinel (in the ``prebuilt`` slot): the connection reached EOF;
 #: the worker closes its writer once every earlier response is flushed.
 _EOF = object()
 
 
-def _error_code(exc: ReproError) -> str:
-    if isinstance(exc, DegradedError):
-        return "degraded"
-    if isinstance(exc, ProtocolError):
-        return "protocol"
-    if isinstance(exc, StreamError):
-        return "stream"
-    if isinstance(exc, AnalysisError):
-        return "analysis"
-    return "error"
-
-
 class BrokerServer:
-    """The channel broker: engine + protocol + metrics + persistence.
+    """The channel broker: an :class:`EngineHost` behind a socket.
 
     Parameters
     ----------
@@ -103,510 +67,125 @@ class BrokerServer:
         batch_max: int = 64,
         fault_plane: Optional[FaultPlane] = None,
     ):
-        self.topology_spec = dict(topology_spec)
-        self.topology, self.routing = topology_from_spec(self.topology_spec)
-        self.engine = IncrementalAdmissionEngine(
-            self.routing,
+        self.host = EngineHost(
+            topology_spec,
+            state_dir=state_dir,
             use_modify=use_modify,
             residency_margin=residency_margin,
             analysis=analysis,
             incremental=incremental,
+            fault_plane=fault_plane,
+            on_shutdown=self.request_shutdown,
         )
-        self.metrics = ServiceMetrics()
         self.batch_max = max(1, int(batch_max))
-        #: Read-only degraded mode (journal unwritable); see DegradedError.
-        self.degraded = False
-        self.degraded_reason: Optional[str] = None
-        #: rid -> recorded outcome of the committed mutation (FIFO-capped).
-        self._applied: Dict[str, Dict[str, Any]] = {}
-        self.state: Optional[BrokerState] = None
-        if state_dir is not None:
-            self.state = BrokerState(
-                state_dir, self.topology_spec, fault_plane=fault_plane
-            )
-            self._recover()
         self._queue: Optional[asyncio.Queue] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._metrics_server: Optional[asyncio.base_events.Server] = None
+        self._unix_path: Optional[Path] = None
         self._worker_task: Optional[asyncio.Task] = None
         self._stopping: Optional[asyncio.Event] = None
 
     # ------------------------------------------------------------------ #
-    # Recovery
+    # Host delegation (the pre-fleet public surface, kept stable)
     # ------------------------------------------------------------------ #
 
-    def _recover(self) -> None:
-        assert self.state is not None
-        rec = self.state.recover()
-        if rec.next_id is not None:
-            # Restore the fresh-id high-water mark so ids released before
-            # the snapshot are never reissued across restarts.
-            self.engine.advance_next_id(rec.next_id)
-        # The idempotency table survives restarts: snapshot-persisted rids
-        # first, then the rids of replayed journal entries, so a client
-        # retrying an op whose ack died with the old process still gets
-        # the committed outcome instead of a double-apply.
-        self._applied.update(rec.applied_rids)
-        if rec.snapshot:
-            # Streams snapshotted under different bound backends replay
-            # as one batch per backend. Order is irrelevant to the final
-            # state (the analysis has no admission-order dependence) and
-            # every intermediate set is a subset of a feasible set, hence
-            # feasible itself.
-            groups: Dict[Optional[str], List[dict]] = {}
-            for entry in rec.snapshot:
-                groups.setdefault(entry.get("analysis"), []).append(entry)
-            for name in sorted(groups, key=lambda n: (n is None, n or "")):
-                self._admit_entries(
-                    groups[name], replay=True, analysis=name
-                )
-        for op in rec.ops:
-            rid = op.get("rid")
-            if op.get("op") == "admit":
-                ids, _ = self._admit_entries(
-                    op["streams"], replay=True,
-                    analysis=op.get("analysis"),
-                )
-                self._record_applied(rid, {"admitted": True, "ids": ids})
-            elif op.get("op") == "release":
-                ids = [int(i) for i in op["ids"]]
-                self.engine.release(ids)
-                self._record_applied(rid, {"released": ids})
-            else:  # pragma: no cover - defensive
-                raise ReproError(f"unknown journal op {op.get('op')!r}")
-        if rec.snapshot or rec.ops or rec.torn_tail:
-            self.state.compact(
-                self.engine.admitted,
-                next_id=self.engine.next_id,
-                applied_rids=self._applied,
-                analyses=self._admitted_analyses(),
-            )
+    @property
+    def topology_spec(self):
+        return self.host.topology_spec
 
-    def _admitted_analyses(self) -> Dict[int, str]:
-        """Per-stream backend names of the admitted set (for snapshots)."""
-        return {
-            sid: self.engine.analysis_of(sid)
-            for sid in self.engine.admitted.ids()
-        }
+    @property
+    def topology(self):
+        return self.host.topology
 
-    def _admit_entries(
-        self,
-        entries: List[dict],
-        *,
-        replay: bool = False,
-        analysis: Optional[str] = None,
-    ) -> Tuple[List[int], Any]:
-        streams: List[MessageStream] = []
-        for entry in entries:
-            if not isinstance(entry, dict):
-                raise ProtocolError("'streams' entries must be objects")
-            sid = (coerce_int(entry["id"], "stream entry 'id'")
-                   if entry.get("id") is not None
-                   else self.engine.fresh_id())
-            try:
-                streams.append(
-                    stream_from_spec(self.topology, entry, stream_id=sid)
-                )
-            except (ValueError, TypeError) as exc:
-                raise ProtocolError(
-                    f"invalid stream entry (id {sid}): {exc}"
-                ) from None
-        decision = self.engine.try_admit(streams, analysis=analysis)
-        if replay and not decision.admitted:  # pragma: no cover - defensive
-            raise ReproError(
-                "journal replay failed: previously admitted batch "
-                f"{[s.stream_id for s in streams]} now rejected"
-            )
-        return [s.stream_id for s in streams], decision
+    @property
+    def routing(self):
+        return self.host.routing
 
-    # ------------------------------------------------------------------ #
-    # Op dispatch (synchronous; also the unit-test surface)
-    # ------------------------------------------------------------------ #
+    @property
+    def engine(self):
+        return self.host.engine
+
+    @property
+    def metrics(self):
+        return self.host.metrics
+
+    @property
+    def state(self):
+        return self.host.state
+
+    @property
+    def degraded(self) -> bool:
+        return self.host.degraded
+
+    @property
+    def degraded_reason(self) -> Optional[str]:
+        return self.host.degraded_reason
+
+    @property
+    def _applied(self) -> Dict[str, Dict[str, Any]]:
+        return self.host._applied
 
     def handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Execute one protocol request and return the response object."""
-        op = request.get("op")
-        # Lazy latency sampling: with REPRO_SERVICE_TIMING=0 the worker
-        # loop never reads the wall clock (counters are still kept).
-        t0 = time.perf_counter() if self.metrics.timing_enabled else None
-        try:
-            with _span("broker.op", "service", op=str(op)):
-                response = self._dispatch(op, request)
-            response["ok"] = True
-            if "id" in request:
-                response["id"] = request["id"]
-            self.metrics.record_op(
-                op, None if t0 is None else time.perf_counter() - t0
-            )
-            return response
-        except ReproError as exc:
-            self.metrics.record_op(
-                op or "invalid",
-                None if t0 is None else time.perf_counter() - t0,
-                error=True,
-            )
-            return error_response(request, str(exc), code=_error_code(exc))
-        except Exception as exc:
-            # Last-resort guard: an escaped exception would kill the single
-            # worker task and wedge every connection. Persistence failures
-            # (journal append OSError) land here too.
-            logger.exception("internal error handling %r", op)
-            self.metrics.record_op(
-                op or "invalid",
-                None if t0 is None else time.perf_counter() - t0,
-                error=True,
-            )
-            return error_response(
-                request,
-                f"internal error handling {op!r}: {exc!r}",
-                code="internal",
-            )
-
-    def _dispatch(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
-        if op in ("hello", "ping"):
-            return {
-                "server": "repro-broker",
-                "version": __version__,
-                "topology": self.topology_spec,
-                "nodes": self.topology.num_nodes,
-                "incremental": self.engine.incremental,
-                "analyses": list(_backends.names()),
-                "default_analysis": self.engine.default_analysis,
-            }
-        if op == "admit":
-            return self._op_admit(request)
-        if op == "release":
-            return self._op_release(request)
-        if op == "query":
-            return self._op_query(request)
-        if op == "report":
-            return {
-                "report": report_to_spec(self.engine.current_report()),
-                "admitted": len(self.engine.admitted),
-            }
-        if op == "snapshot":
-            if self.state is None:
-                raise ProtocolError(
-                    "server runs without persistence (no --state-dir)"
-                )
-            # Allowed (and essential) in degraded mode: a successful
-            # compaction rewrites the snapshot and truncates the journal,
-            # re-establishing durable storage.
-            try:
-                path = self.state.compact(
-                    self.engine.admitted,
-                    next_id=self.engine.next_id,
-                    applied_rids=self._applied,
-                    analyses=self._admitted_analyses(),
-                )
-            except OSError as exc:
-                self.metrics.journal_errors += 1
-                self._enter_degraded(f"snapshot compaction failed: {exc}")
-                raise DegradedError(
-                    f"snapshot failed ({exc}); broker stays read-only"
-                ) from None
-            cleared = self.degraded
-            self._clear_degraded()
-            response = {
-                "path": str(path), "streams": len(self.engine.admitted),
-            }
-            if cleared:
-                response["degraded_cleared"] = True
-            return response
-        if op == "stats":
-            if request.get("format") == "prometheus":
-                return {"prometheus": self.prometheus_text()}
-            return {
-                "service": self.metrics.to_dict(),
-                "engine": self.engine.stats.to_dict(),
-                "admitted": len(self.engine.admitted),
-                "degraded": self.degraded,
-            }
-        if op == "shutdown":
-            if self._stopping is not None:
-                self._stopping.set()
-            return {"stopping": True}
-        raise ProtocolError(f"unknown op {op!r}")  # pragma: no cover
-
-    # ------------------------------------------------------------------ #
-    # Idempotency + degraded-mode plumbing
-    # ------------------------------------------------------------------ #
+        return self.host.handle_request(request)
 
     def _record_applied(
         self, rid: Optional[str], outcome: Dict[str, Any]
     ) -> None:
-        """Remember a committed mutation's outcome under its rid."""
-        if rid is None:
-            return
-        self._applied[str(rid)] = outcome
-        while len(self._applied) > RID_CAP:
-            del self._applied[next(iter(self._applied))]
-
-    def _duplicate_response(
-        self, rid: Optional[str]
-    ) -> Optional[Dict[str, Any]]:
-        """The recorded outcome for an already-applied rid, or ``None``.
-
-        Checked *before* the degraded gate: replaying a committed
-        mutation writes nothing, so it stays safe while read-only — and
-        that is exactly when crash-induced retries arrive.
-        """
-        if rid is None or rid not in self._applied:
-            return None
-        self.metrics.duplicates += 1
-        response = dict(self._applied[rid])
-        response["duplicate"] = True
-        return response
-
-    def _mutation_gate(self) -> None:
-        if self.degraded:
-            raise DegradedError(
-                f"broker is read-only ({self.degraded_reason}); "
-                "retry after a successful 'snapshot' op"
-            )
-
-    def _journal_commit(self, entry: Dict[str, Any], rollback) -> None:
-        """Append a committed mutation; on failure undo it and degrade.
-
-        ``BrokerState.append`` has already repaired the journal (the
-        record is guaranteed absent from disk), so after ``rollback()``
-        memory and disk agree that the op never happened — the client
-        gets a ``degraded`` error, never a silent divergence.
-        """
-        assert self.state is not None
-        try:
-            self.state.append(entry)
-        except OSError as exc:
-            self.metrics.journal_errors += 1
-            rollback()
-            self._enter_degraded(f"journal append failed: {exc}")
-            raise DegradedError(
-                f"journal unwritable ({exc}); mutation rolled back, "
-                "broker is read-only until a successful snapshot"
-            ) from None
-
-    def _enter_degraded(self, reason: str) -> None:
-        if not self.degraded:
-            self.metrics.degraded_entered += 1
-            logger.error("entering read-only degraded mode: %s", reason)
-        self.degraded = True
-        self.degraded_reason = reason
-
-    def _clear_degraded(self) -> None:
-        if self.degraded:
-            logger.warning(
-                "leaving degraded mode after successful snapshot"
-            )
-        self.degraded = False
-        self.degraded_reason = None
-
-    def _op_admit(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        rid = coerce_rid(request)
-        duplicate = self._duplicate_response(rid)
-        if duplicate is not None:
-            return duplicate
-        self._mutation_gate()
-        entries = request.get("streams")
-        if not isinstance(entries, list) or not entries:
-            raise ProtocolError("'admit' needs a non-empty 'streams' list")
-        analysis = request.get("analysis")
-        if analysis is not None:
-            if not isinstance(analysis, str):
-                raise ProtocolError(
-                    f"'analysis' must be a string, got {analysis!r}"
-                )
-            if analysis not in _backends.names():
-                raise ProtocolError(
-                    f"unknown analysis backend {analysis!r} (known: "
-                    f"{', '.join(_backends.names())})"
-                )
-        next_id_before = self.engine.next_id
-        ids, decision = self._admit_entries(entries, analysis=analysis)
-        response: Dict[str, Any] = {
-            "admitted": decision.admitted,
-            "ids": ids,
-            "violations": list(decision.violations),
-            "bounds": {
-                str(sid): v.upper_bound
-                for sid, v in decision.report.verdicts.items()
-            },
-        }
-        if decision.admitted:
-            response["closures"] = {
-                str(sid): list(self.engine.closure(sid)) for sid in ids
-            }
-            # Resolved name (engine default applied), so replay after a
-            # restart does not depend on the environment at restart time.
-            response["analysis"] = self.engine.analysis_of(ids[0])
-            self.metrics.admitted_ok += 1
-            if self.state is not None:
-                entry: Dict[str, Any] = {
-                    "op": "admit",
-                    "streams": [
-                        stream_to_spec(self.engine.admitted[sid])
-                        for sid in ids
-                    ],
-                    "analysis": self.engine.analysis_of(ids[0]),
-                }
-                if rid is not None:
-                    entry["rid"] = rid
-                self._journal_commit(
-                    entry,
-                    lambda: self._rollback_admit(ids, next_id_before),
-                )
-            self._record_applied(rid, {"admitted": True, "ids": ids})
-        else:
-            self.metrics.admitted_rejected += 1
-            # The trial ids of a rejected batch were never admitted, so
-            # releasing them back keeps a retry of the same (lost-ack)
-            # request id-stable with its first evaluation.
-            self.engine.reset_next_id(next_id_before)
-        return response
-
-    def _rollback_admit(self, ids: List[int], next_id_before: int) -> None:
-        self.engine.release(ids)
-        # The ids were assigned but never committed or acknowledged;
-        # reclaiming them keeps the id sequence identical to a run in
-        # which the failed admit never happened.
-        self.engine.reset_next_id(next_id_before)
-
-    def _op_release(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        rid = coerce_rid(request)
-        duplicate = self._duplicate_response(rid)
-        if duplicate is not None:
-            return duplicate
-        self._mutation_gate()
-        ids = request.get("ids")
-        if not isinstance(ids, list) or not ids:
-            raise ProtocolError("'release' needs a non-empty 'ids' list")
-        ids = [coerce_int(i, "'release' id") for i in ids]
-        # Captured before the release (stream + the backend it was vetted
-        # under) so a journal failure can restore them; unknown ids make
-        # engine.release raise before mutating.
-        removed = [
-            (self.engine.admitted[sid], self.engine.analysis_of(sid))
-            for sid in ids if sid in self.engine.admitted
-        ]
-        self.engine.release(ids)
-        if self.state is not None:
-            entry = {"op": "release", "ids": ids}
-            if rid is not None:
-                entry["rid"] = rid
-            self._journal_commit(
-                entry, lambda: self._rollback_release(removed)
-            )
-        self._record_applied(rid, {"released": ids})
-        return {"released": ids}
-
-    def _rollback_release(
-        self, removed: List[Tuple[MessageStream, str]]
-    ) -> None:
-        groups: Dict[str, List[MessageStream]] = {}
-        for stream, name in removed:
-            groups.setdefault(name, []).append(stream)
-        for name in sorted(groups):
-            decision = self.engine.try_admit(groups[name], analysis=name)
-            if not decision.admitted:  # pragma: no cover - defensive
-                # Re-admitting streams that were feasible a moment ago
-                # cannot fail; if it somehow does, crash loudly rather
-                # than serve a state that disagrees with the journal.
-                raise ReproError(
-                    "rollback re-admission rejected; broker state is "
-                    "inconsistent with the journal"
-                )
-
-    def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        sid = request.get("stream")
-        if sid is None:
-            raise ProtocolError("'query' needs a 'stream' id")
-        sid = coerce_int(sid, "'query' stream")
-        verdict = self.engine.verdict(sid)
-        return {
-            "stream": stream_to_spec(self.engine.admitted[sid]),
-            "upper_bound": verdict.upper_bound,
-            "feasible": verdict.feasible,
-            "slack": verdict.slack,
-            "closure": list(self.engine.closure(sid)),
-            "analysis": self.engine.analysis_of(sid),
-        }
-
-    # ------------------------------------------------------------------ #
-    # Prometheus export
-    # ------------------------------------------------------------------ #
+        self.host._record_applied(rid, outcome)
 
     def prometheus_text(self) -> str:
-        """Service + engine metrics in Prometheus text exposition format.
-
-        Serves the ``stats`` op's ``format: "prometheus"`` variant and the
-        ``--metrics-port`` HTTP scrape endpoint. Synchronisation happens
-        per export, never per request.
-        """
-        reg = self.metrics.sync_registry()
-        es = self.engine.stats
-        reg.gauge(
-            "repro_broker_degraded",
-            "1 while the broker is in read-only degraded mode.",
-        ).set(1.0 if self.degraded else 0.0)
-        reg.gauge(
-            "repro_engine_admitted_streams",
-            "Streams currently admitted by the engine.",
-        ).set(len(self.engine.admitted))
-        for field, help_text in (
-            ("ops", "Engine operations (admit + release calls)."),
-            ("admits", "Accepted admission batches."),
-            ("rejects", "Rejected admission batches."),
-            ("releases", "Release operations."),
-            ("verdicts_recomputed", "Per-stream verdicts recomputed."),
-            ("verdicts_reused", "Per-stream verdicts served from cache."),
-            ("verdict_memo_hits", "Verdicts served from the input-keyed "
-                                  "memo without recomputation."),
-            ("hp_rebuilt", "HP sets rebuilt by graph traversal."),
-            ("hp_delta_updates", "HP sets produced from maintained reach "
-                                 "closures (delta path)."),
-            ("full_fallbacks", "Incremental ops that fell back to a full "
-                               "rebuild."),
-            ("forced_invalidations", "Forced cache invalidations "
-                                     "(chaos cache_storm hook)."),
-            ("route_cache_hits", "Route cache hits."),
-            ("route_cache_misses", "Route cache misses."),
-            ("dirty_frontier_total", "Sum of dirty-frontier sizes over "
-                                     "incremental ops."),
-        ):
-            attr = "dirty_total" if field == "dirty_frontier_total" else field
-            reg.counter(
-                f"repro_engine_{field}_total"
-                if not field.endswith("_total") else f"repro_engine_{field}",
-                help_text,
-            ).value = float(getattr(es, attr))
-        reg.gauge(
-            "repro_engine_cache_hit_rate",
-            "Fraction of per-stream verdicts served from cache.",
-        ).set(es.cache_hit_rate())
-        reg.gauge(
-            "repro_engine_dirty_frontier_last",
-            "Dirty-frontier size of the most recent incremental op.",
-        ).set(es.dirty_last)
-        reg.gauge(
-            "repro_engine_dirty_frontier_max",
-            "Largest dirty frontier seen.",
-        ).set(es.dirty_max)
-        for phase in ("route", "hp", "diagram", "verdict"):
-            reg.counter(
-                f"repro_engine_{phase}_seconds_total",
-                f"Wall-clock seconds spent in the {phase} phase of the "
-                "admission hot path.",
-            ).value = float(getattr(es, f"{phase}_seconds"))
-        return reg.render()
+        """Service + engine metrics in Prometheus text exposition format."""
+        return self.host.prometheus_text()
 
     # ------------------------------------------------------------------ #
     # Asyncio front end
     # ------------------------------------------------------------------ #
 
     async def start_unix(self, path: Union[str, Path]) -> None:
-        """Listen on a unix socket."""
+        """Listen on a unix socket.
+
+        A pre-existing socket file is probed before binding: if a live
+        broker still answers on it, refuse with a clear error (two
+        servers must never share a path); a stale leftover from a crash
+        or SIGKILL is removed and the path reused. The file is unlinked
+        again on clean shutdown, so only unclean exits leave one behind.
+        """
+        sock_path = Path(path)
+        if sock_path.exists():
+            self._clear_stale_socket(sock_path)
         self._init_async()
         self._server = await asyncio.start_unix_server(
-            self._client_connected, path=str(path)
+            self._client_connected, path=str(sock_path)
+        )
+        self._unix_path = sock_path
+
+    @staticmethod
+    def _clear_stale_socket(sock_path: Path) -> None:
+        """Remove ``sock_path`` iff it is a unix socket nobody serves."""
+        if not stat.S_ISSOCK(sock_path.stat().st_mode):
+            raise ReproError(
+                f"{sock_path} exists and is not a socket; refusing to "
+                "remove it"
+            )
+        probe = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_STREAM
+        )
+        try:
+            probe.settimeout(1.0)
+            try:
+                probe.connect(str(sock_path))
+            except (ConnectionRefusedError, socket_module.timeout):
+                sock_path.unlink(missing_ok=True)
+                logger.info("removed stale socket %s", sock_path)
+                return
+            except FileNotFoundError:  # pragma: no cover - lost a race
+                return
+        finally:
+            probe.close()
+        raise ReproError(
+            f"socket {sock_path} is already served by a live broker; "
+            "stop it first or choose another --socket path"
         )
 
     async def start_tcp(self, host: str, port: int) -> None:
@@ -692,6 +271,10 @@ class BrokerServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._unix_path is not None:
+            # Clean shutdown leaves no stale socket file behind.
+            self._unix_path.unlink(missing_ok=True)
+            self._unix_path = None
         if self._metrics_server is not None:
             self._metrics_server.close()
             await self._metrics_server.wait_closed()
@@ -719,8 +302,7 @@ class BrokerServer:
                 self._queue.task_done()
                 if prebuilt is _EOF:
                     await self._close_writer(writer)
-        if self.state is not None:
-            self.state.close()
+        self.host.close()
 
     async def _client_connected(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter

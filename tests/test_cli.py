@@ -208,7 +208,8 @@ class TestServeLoadCommands:
 
     def test_load_requires_listener(self, capsys):
         assert main(["load"]) == 2
-        assert "exactly one of --socket or --host" in capsys.readouterr().err
+        assert ("exactly one of --socket, --host or --target"
+                in capsys.readouterr().err)
 
     def test_serve_load_round_trip(self, tmp_path, capsys):
         """End-to-end over the real CLI: serve in a thread, load against it."""
@@ -346,3 +347,43 @@ class TestCheckAnalysisFlag:
         assert main(["explain", str(path), "0",
                      "--analysis", "typo"]) == 2
         assert "typo" in capsys.readouterr().err
+
+
+class TestFleetCommands:
+    def test_fleet_chaos_round_trip(self, tmp_path, capsys):
+        code = main([
+            "chaos", "--fleet", "--seed", "0", "--ops", "60",
+            "--tenants", "2", "--shards", "2", "--mesh", "5x5",
+            "--target-live", "8", "--persistence-rate", "0.4",
+            "--kill-rate", "0.10", "--state-dir", str(tmp_path),
+            "--min-kills", "1",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        payload = json.loads(captured.out)
+        assert payload["ok"] and payload["bit_identical"]
+        assert payload["kills"] >= 1
+        assert payload["acked_then_lost"] == {}
+        assert "fleet chaos seed=0" in captured.err
+
+    def test_fleet_chaos_enforces_min_kills(self, capsys):
+        code = main([
+            "chaos", "--fleet", "--seed", "0", "--ops", "10",
+            "--persistence-rate", "0", "--kill-rate", "0",
+            "--min-kills", "1",
+        ])
+        assert code == 1
+        assert "--min-kills" in capsys.readouterr().err
+
+    def test_load_transport_flags_are_exclusive(self, capsys):
+        assert main(["load", "--socket", "/tmp/x.sock", "--target",
+                     "http://127.0.0.1:1", "--api-key", "k"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_load_target_needs_api_key(self, capsys):
+        assert main(["load", "--target", "http://127.0.0.1:1"]) == 2
+        assert "--api-key" in capsys.readouterr().err
+
+    def test_gateway_rejects_bad_tenant_spec(self, capsys):
+        assert main(["gateway", "--tenant", "nokey"]) == 2
+        assert "NAME=KEY" in capsys.readouterr().err

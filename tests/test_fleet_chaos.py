@@ -1,0 +1,83 @@
+"""Fleet chaos campaign tests (``repro.fleet.chaos``).
+
+Same split as ``test_chaos.py``: the unmarked tests run a small
+campaign with boosted fault/kill rates so every mechanism fires inside
+the tier-1 budget; the ``chaos``-marked tests run default-size
+campaigns across several seeds (CI's chaos job and nightly runs).
+"""
+
+import pytest
+
+from repro.fleet.chaos import (
+    FleetChaosConfig,
+    generate_fleet_schedule,
+    run_fleet_chaos_campaign,
+)
+
+#: Small but hostile: kill and fault rates cranked up so the campaign
+#: exercises primary kills, deferred failover, journal faults during
+#: recovery, and duplicate acks even at 60 ops.
+SMALL = FleetChaosConfig(
+    seed=0,
+    ops=60,
+    tenants=2,
+    shards=2,
+    width=5,
+    height=5,
+    target_live=8,
+    persistence_rate=0.4,
+    kill_rate=0.10,
+)
+
+
+class TestSmallFleetCampaign:
+    def test_fleet_survives_and_matches_oracles(self, tmp_path):
+        report = run_fleet_chaos_campaign(SMALL, state_dir=tmp_path)
+        assert report.ok, report.summary()
+        assert report.bit_identical
+        assert report.committed == SMALL.ops
+        assert report.acked_then_lost == {}
+        assert report.phantom_ids == {}
+        assert report.outcome_mismatches == 0
+        # The hostile rates must actually produce hostility.
+        assert report.faults_total > 0
+        assert report.kills >= 1
+        assert report.promotions >= 1
+        assert report.fleet_restarts >= 1
+
+    def test_campaign_is_reproducible(self):
+        first = run_fleet_chaos_campaign(SMALL).to_dict()
+        second = run_fleet_chaos_campaign(SMALL).to_dict()
+        first.pop("seconds"), second.pop("seconds")
+        assert first == second
+
+    def test_schedule_is_deterministic_and_interleaved(self):
+        sched = generate_fleet_schedule(SMALL)
+        assert len(sched) == SMALL.ops
+        assert sched == generate_fleet_schedule(SMALL)
+        tenants = {tenant for tenant, _ in sched}
+        assert len(tenants) == SMALL.tenants
+        rids = [entry.rid for _, entry in sched]
+        assert len(set(rids)) == len(rids)
+
+    def test_report_dict_shape(self, tmp_path):
+        report = run_fleet_chaos_campaign(SMALL, state_dir=tmp_path)
+        d = report.to_dict()
+        for key in ("seed", "ops", "tenants", "shards", "kills",
+                    "promotions", "oracle_shas", "live_shas",
+                    "recovered_shas", "bit_identical", "ok"):
+            assert key in d
+        assert set(d["oracle_shas"]) == {"tenant-0", "tenant-1"}
+        assert "fleet chaos seed=0" in report.summary()
+
+
+@pytest.mark.chaos
+class TestFullFleetCampaign:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_default_size_campaign(self, seed, tmp_path):
+        report = run_fleet_chaos_campaign(
+            FleetChaosConfig(seed=seed), state_dir=tmp_path
+        )
+        assert report.ok, report.summary()
+        assert report.kills >= 1
+        assert report.promotions >= 1

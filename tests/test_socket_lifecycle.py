@@ -1,0 +1,111 @@
+"""Unix-socket lifecycle: stale-socket reclaim, live-socket refusal,
+and unlink-on-clean-shutdown (``repro serve --socket``).
+
+A crashed broker leaves its socket file behind; ``bind`` then fails
+with ``EADDRINUSE`` even though nothing is listening. The server now
+probes the path before binding: connect-refused means stale (reclaim),
+connect-accepted means a live broker owns it (refuse with a clear
+error), and a non-socket file is never deleted.
+"""
+
+import asyncio
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service.loadgen import BrokerClient
+from repro.service.server import BrokerServer
+
+MESH = {"type": "mesh", "width": 4, "height": 4}
+
+
+def make_stale_socket(path):
+    """Bind a unix socket at ``path`` and close it without unlinking —
+    exactly the residue a SIGKILLed broker leaves."""
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.bind(str(path))
+    s.close()
+    assert path.exists()
+
+
+class TestStaleSocket:
+    def test_stale_socket_is_reclaimed(self, tmp_path):
+        sock = tmp_path / "broker.sock"
+        make_stale_socket(sock)
+
+        async def main():
+            server = BrokerServer(MESH)
+            await server.start_unix(str(sock))
+
+            def client():
+                with BrokerClient.wait_for_unix(str(sock)) as c:
+                    out = c.check("ping")
+                    c.check("shutdown")
+                    return out
+
+            thread_result = {}
+            thread = threading.Thread(
+                target=lambda: thread_result.update(client())
+            )
+            thread.start()
+            await asyncio.wait_for(server.serve_forever(), timeout=30)
+            thread.join(timeout=10)
+            return thread_result
+
+        result = asyncio.run(main())
+        assert result["ok"]
+
+    def test_live_socket_is_refused(self, tmp_path):
+        sock = tmp_path / "broker.sock"
+
+        async def main():
+            first = BrokerServer(MESH)
+            await first.start_unix(str(sock))
+            second = BrokerServer(MESH)
+            with pytest.raises(ReproError, match="live broker"):
+                await second.start_unix(str(sock))
+            await first.aclose()
+            # The refusal must not have deleted the live socket out from
+            # under the first server before it closed...
+            # (aclose unlinks it; see the shutdown test below.)
+
+        asyncio.run(main())
+
+    def test_non_socket_file_is_never_deleted(self, tmp_path):
+        path = tmp_path / "broker.sock"
+        path.write_text("precious data, definitely not a socket\n")
+
+        async def main():
+            server = BrokerServer(MESH)
+            with pytest.raises(ReproError, match="not a socket"):
+                await server.start_unix(str(path))
+
+        asyncio.run(main())
+        assert path.read_text().startswith("precious data")
+
+    def test_clean_shutdown_unlinks_socket(self, tmp_path):
+        sock = tmp_path / "broker.sock"
+
+        async def main():
+            server = BrokerServer(MESH)
+            await server.start_unix(str(sock))
+            assert sock.exists()
+            await server.aclose()
+
+        asyncio.run(main())
+        assert not sock.exists(), "clean shutdown must remove the socket"
+
+    def test_restart_after_clean_shutdown(self, tmp_path):
+        """Stop-then-start on the same path needs no manual cleanup."""
+        sock = tmp_path / "broker.sock"
+
+        async def cycle():
+            server = BrokerServer(MESH)
+            await server.start_unix(str(sock))
+            await server.aclose()
+
+        asyncio.run(cycle())
+        asyncio.run(cycle())
+        assert not sock.exists()
