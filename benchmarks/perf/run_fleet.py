@@ -1,10 +1,10 @@
 #!/usr/bin/env python
 """Fleet scaling benchmark: aggregate admission throughput vs shards.
 
-Writes ``BENCH_PR8.json`` at the repo root. The workload is a 4-tenant
+Writes ``BENCH_PR9.json`` at the repo root. The workload is a 4-tenant
 admit/release churn (the same seeded ``churn_spec`` policy as ``repro
 load``) on a 10x10 mesh, held around a per-tenant live target where
-admission decisions are non-trivial. Three legs:
+admission decisions are non-trivial. Five legs:
 
 ``single_broker``
     The pre-fleet deployment: one engine holds *all four tenants'*
@@ -19,6 +19,21 @@ admission decisions are non-trivial. Three legs:
     making faster). The headline ``speedup_4_shards`` is
     ``fleet[shards=4].ops_per_second / single_broker.ops_per_second``.
 
+``fleet_persistent``
+    The 4-shard in-process fleet with journaling on (a ``state_dir``)
+    and rids attached — the apples-to-apples baseline for the worker
+    pool, which cannot run without durability.
+
+``workers``
+    The same churn through ``Fleet(..., workers=N)`` at 1, 2 and 4
+    worker processes, one driver thread per tenant (cross-tenant
+    parallelism is what the pool provides; each tenant stays
+    single-writer). Fingerprints must match the in-process legs
+    exactly. Ratios are recorded against both the PR 8 in-process
+    4-shard leg and the persistent baseline. On a single-core host the
+    extra processes cannot win — the floor below is therefore
+    env-gated, for CI runners with real cores.
+
 ``gateway``
     The 4-shard fleet behind the real asyncio HTTP gateway on loopback,
     driven by :class:`repro.fleet.client.GatewayClient`; records ops/s
@@ -30,9 +45,13 @@ Environment knobs:
 * ``REPRO_BENCH_FLEET_OPS``    — churn ops per tenant (default 250);
 * ``REPRO_BENCH_FLEET_LIVE``   — per-tenant live target (default 30);
 * ``REPRO_BENCH_GATEWAY``      — 0 skips the HTTP gateway leg;
+* ``REPRO_BENCH_WORKERS``      — 0 skips the worker-pool legs;
 * ``REPRO_PERF_REPEATS``       — timing repeats, best-of (default 1);
 * ``REPRO_BENCH_FLEET_MIN_SPEEDUP`` — when set, fail unless
-  ``speedup_4_shards`` reaches this floor (CI's regression guard).
+  ``speedup_4_shards`` reaches this floor (CI's regression guard);
+* ``REPRO_BENCH_WORKERS_MIN_RATIO`` — when set, fail unless the best
+  worker leg reaches this ratio of the persistent in-process leg
+  (only meaningful on multi-core runners).
 
 Run:  python benchmarks/perf/run_fleet.py
 """
@@ -44,8 +63,10 @@ import json
 import os
 import platform
 import random
+import shutil
 import statistics
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -65,9 +86,13 @@ from repro.service.loadgen import churn_spec  # noqa: E402
 OPS = int(os.environ.get("REPRO_BENCH_FLEET_OPS", "250"))
 TARGET_LIVE = int(os.environ.get("REPRO_BENCH_FLEET_LIVE", "30"))
 RUN_GATEWAY = os.environ.get("REPRO_BENCH_GATEWAY", "1") != "0"
+RUN_WORKERS = os.environ.get("REPRO_BENCH_WORKERS", "1") != "0"
 REPEATS = int(os.environ.get("REPRO_PERF_REPEATS", "1"))
 MIN_SPEEDUP = os.environ.get("REPRO_BENCH_FLEET_MIN_SPEEDUP", "").strip()
-OUT_PATH = REPO_ROOT / "BENCH_PR8.json"
+MIN_WORKER_RATIO = os.environ.get(
+    "REPRO_BENCH_WORKERS_MIN_RATIO", ""
+).strip()
+OUT_PATH = REPO_ROOT / "BENCH_PR9.json"
 
 TENANTS = 4
 TOPO = {"type": "mesh", "width": 10, "height": 10}
@@ -140,6 +165,71 @@ def replay_fleet(schedule, shards):
               fleet.tenants.items()}
     fleet.close()
     return seconds, admits, shas, spread
+
+
+def replay_persistent_fleet(schedule, state_dir):
+    """The 4-shard fleet with journaling on, single driver thread —
+    the apples-to-apples baseline for the worker pool."""
+    fleet = Fleet(
+        [TenantSpec(f"tenant-{i}", f"key-{i}", TOPO)
+         for i in range(TENANTS)],
+        shards=4, state_dir=state_dir,
+    )
+    live = {f"tenant-{i}": [] for i in range(TENANTS)}
+    t0 = time.perf_counter()
+    for tenant, entry in schedule:
+        request = build_request(entry, live[tenant],
+                                target_live=TARGET_LIVE)
+        response = fleet.handle_request(tenant, request)
+        if not response.get("ok"):
+            raise RuntimeError(f"persistent fleet op failed: {response}")
+        _apply_outcome(request, response, live[tenant], [])
+    seconds = time.perf_counter() - t0
+    shas = {t: tf.fingerprint()[0] for t, tf in fleet.tenants.items()}
+    fleet.close()
+    return seconds, shas
+
+
+def replay_workers(schedule, workers, state_dir):
+    """The same churn through supervised worker processes, one driver
+    thread per tenant (tenants stay single-writer; the pool's win is
+    cross-tenant parallelism across cores)."""
+    fleet = Fleet(
+        [TenantSpec(f"tenant-{i}", f"key-{i}", TOPO)
+         for i in range(TENANTS)],
+        shards=4, state_dir=state_dir, workers=workers,
+    )
+    per_tenant = {f"tenant-{i}": [] for i in range(TENANTS)}
+    for tenant, entry in schedule:
+        per_tenant[tenant].append(entry)
+    live = {t: [] for t in per_tenant}
+    failures = []
+
+    def drive(tenant):
+        for entry in per_tenant[tenant]:
+            request = build_request(entry, live[tenant],
+                                    target_live=TARGET_LIVE)
+            response = fleet.handle_request(tenant, request)
+            if not response.get("ok"):
+                failures.append((tenant, response))
+                return
+            _apply_outcome(request, response, live[tenant], [])
+
+    threads = [threading.Thread(target=drive, args=(t,))
+               for t in per_tenant]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - t0
+    if failures:
+        fleet.close()
+        raise RuntimeError(f"worker fleet op failed ({workers} workers): "
+                           f"{failures[0]}")
+    shas = {t: tf.fingerprint()[0] for t, tf in fleet.tenants.items()}
+    fleet.close()
+    return seconds, shas
 
 
 def bench_gateway(schedule):
@@ -221,6 +311,7 @@ def main() -> int:
         "host": {
             "python": platform.python_version(),
             "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
         },
     }
 
@@ -270,6 +361,70 @@ def main() -> int:
     speedup = fleet_rows["4"]["speedup_vs_single_broker"]
     out["speedup_4_shards"] = speedup
 
+    worker_ratio = None
+    if RUN_WORKERS:
+        tmp_root = tempfile.mkdtemp(prefix="repro-bench-fleet-")
+        try:
+            best = float("inf")
+            pshas = None
+            for r in range(max(1, REPEATS)):
+                sec, pshas = replay_persistent_fleet(
+                    schedule, Path(tmp_root) / f"persistent-{r}"
+                )
+                best = min(best, sec)
+            if pshas != reference_shas:
+                print("FAIL: persistent fleet verdicts diverged",
+                      file=sys.stderr)
+                return 1
+            persistent_ops_s = total_ops / best
+            out["fleet_persistent"] = {
+                "seconds": round(best, 3),
+                "ops_per_second": round(persistent_ops_s, 1),
+                "journal_overhead_vs_inmemory": round(
+                    fleet_rows["4"]["ops_per_second"] / persistent_ops_s,
+                    2,
+                ),
+            }
+            print(f"fleet x4 (journaled): {total_ops} ops in {best:.2f}s "
+                  f"({persistent_ops_s:.0f} ops/s)")
+
+            worker_rows = {}
+            for workers in (1, 2, 4):
+                best = float("inf")
+                wshas = None
+                for r in range(max(1, REPEATS)):
+                    sec, wshas = replay_workers(
+                        schedule, workers,
+                        Path(tmp_root) / f"workers-{workers}-{r}",
+                    )
+                    best = min(best, sec)
+                if wshas != reference_shas:
+                    print(f"FAIL: verdicts diverged at {workers} workers",
+                          file=sys.stderr)
+                    return 1
+                ops_s = total_ops / best
+                ratio = ops_s / persistent_ops_s
+                worker_rows[str(workers)] = {
+                    "seconds": round(best, 3),
+                    "ops_per_second": round(ops_s, 1),
+                    "ratio_vs_inprocess_persistent": round(ratio, 2),
+                    "ratio_vs_inprocess_4shards": round(
+                        ops_s / fleet_rows["4"]["ops_per_second"], 2
+                    ),
+                }
+                print(f"workers x{workers}: {total_ops} ops in "
+                      f"{best:.2f}s ({ops_s:.0f} ops/s, {ratio:.2f}x "
+                      f"journaled in-process)")
+            out["workers"] = worker_rows
+            out["fingerprints_identical_across_worker_counts"] = True
+            worker_ratio = max(
+                row["ratio_vs_inprocess_persistent"]
+                for row in worker_rows.values()
+            )
+            out["best_worker_ratio"] = worker_ratio
+        finally:
+            shutil.rmtree(tmp_root, ignore_errors=True)
+
     if RUN_GATEWAY:
         gw = bench_gateway(schedule)
         inproc_ms = (fleet_rows["4"]["seconds"] / total_ops) * 1000.0
@@ -287,6 +442,12 @@ def main() -> int:
     if MIN_SPEEDUP and speedup < float(MIN_SPEEDUP):
         print(f"FAIL: speedup_4_shards {speedup:.2f} is below the "
               f"REPRO_BENCH_FLEET_MIN_SPEEDUP={MIN_SPEEDUP} floor",
+              file=sys.stderr)
+        return 1
+    if (MIN_WORKER_RATIO and worker_ratio is not None
+            and worker_ratio < float(MIN_WORKER_RATIO)):
+        print(f"FAIL: best worker ratio {worker_ratio:.2f} is below the "
+              f"REPRO_BENCH_WORKERS_MIN_RATIO={MIN_WORKER_RATIO} floor",
               file=sys.stderr)
         return 1
     return 0

@@ -246,6 +246,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(default: one tenant 'default=dev-key')")
     p_gateway.add_argument("--shards", type=int, default=2,
                            help="engines per tenant (default 2)")
+    p_gateway.add_argument("--workers", type=int, default=0,
+                           help="run shards in N supervised worker "
+                                "processes (needs --state-dir; default "
+                                "0 = in-process)")
     p_gateway.add_argument("--mesh", default=None, metavar="WxH",
                            help="shortcut for a WxH mesh topology")
     p_gateway.add_argument("--topology", default=None, metavar="JSON",
@@ -338,6 +342,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--min-kills", type=int, default=0,
                          help="fail unless at least this many primaries "
                               "were killed (--fleet only)")
+    p_chaos.add_argument("--workers", type=int, default=0,
+                         help="run shards in N supervised worker "
+                              "processes and SIGKILL them for real "
+                              "(--fleet only; default 0 = in-process)")
+    p_chaos.add_argument("--worker-kill-rate", type=float, default=0.10,
+                         help="per-op probability of a worker SIGKILL "
+                              "(--fleet --workers only; default 0.10)")
+    p_chaos.add_argument("--min-worker-kills", type=int, default=0,
+                         help="fail unless at least this many worker "
+                              "processes were SIGKILLed (--fleet only)")
 
     return parser
 
@@ -628,6 +642,7 @@ def _run_gateway(args: argparse.Namespace) -> int:
         shards=args.shards,
         state_dir=args.state_dir,
         incremental=False if args.no_incremental else None,
+        workers=args.workers,
     )
     standbys = None
     if args.state_dir is not None and not args.no_standby:
@@ -645,7 +660,8 @@ def _run_gateway(args: argparse.Namespace) -> int:
             f"repro-gateway listening on http://{args.host}:"
             f"{gateway.port} ({len(specs)} tenant(s) x {args.shards} "
             f"shard(s), {recovered} stream(s) recovered, standbys "
-            f"{'on' if standbys else 'off'})",
+            f"{'on' if standbys else 'off'}, "
+            f"{args.workers or 'no'} worker process(es))",
             flush=True,
         )
         await gateway.serve_forever()
@@ -727,6 +743,8 @@ def _run_fleet_chaos(args: argparse.Namespace) -> int:
         target_live=args.target_live,
         persistence_rate=args.persistence_rate,
         kill_rate=args.kill_rate,
+        workers=args.workers,
+        worker_kill_rate=args.worker_kill_rate,
     )
     report = run_fleet_chaos_campaign(cfg, state_dir=args.state_dir)
     print(json.dumps(report.to_dict(), indent=2))
@@ -744,6 +762,13 @@ def _run_fleet_chaos(args: argparse.Namespace) -> int:
         print(
             f"error: only {report.kills} primaries killed "
             f"(--min-kills {args.min_kills})",
+            file=sys.stderr,
+        )
+        return 1
+    if report.worker_kills < args.min_worker_kills:
+        print(
+            f"error: only {report.worker_kills} workers SIGKILLed "
+            f"(--min-worker-kills {args.min_worker_kills})",
             file=sys.stderr,
         )
         return 1

@@ -15,6 +15,12 @@ the broker's defining property — bit-identical admission verdicts:
     one component per shard via escalation-by-migration; verdicts and
     reports are byte-identical to a single engine holding the same set.
 
+:mod:`repro.fleet.workers`
+    :class:`WorkerSupervisor` / :class:`WorkerShard` — shard execution
+    in supervised child processes (``Fleet(..., workers=N)``): one
+    JSON-lines unix socket per worker, SIGKILL-safe restarts with
+    journal recovery, per-core parallelism across tenants.
+
 :mod:`repro.fleet.replication`
     :class:`ShardStandby` / :class:`StandbyPool` — journal-shipping warm
     standbys with SHA-256-verified promotion on failover.
@@ -35,6 +41,7 @@ from .gateway import GatewayServer
 from .regions import ChannelIndex, entry_channels
 from .replication import JournalTailer, ShardStandby, StandbyPool
 from .shards import Fleet, TenantFleet, TenantSpec
+from .workers import WorkerShard, WorkerSupervisor
 
 __all__ = [
     "ChannelIndex",
@@ -47,4 +54,6 @@ __all__ = [
     "StandbyPool",
     "GatewayServer",
     "GatewayClient",
+    "WorkerShard",
+    "WorkerSupervisor",
 ]

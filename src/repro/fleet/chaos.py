@@ -31,10 +31,22 @@ The fault vocabulary is the fleet's deployment reality:
 * **Degraded shards** — a disk fault inside an op leaves that shard
   read-only; the driver clears it with a ``snapshot`` op, as a
   supervising client would.
+* **Worker kills** (``workers > 0``) — a *real* ``SIGKILL`` of a live
+  shard worker process, either between ops or armed to fire mid-RPC
+  (after the request bytes left the parent, before the ack returns —
+  the fate-unknown window). The supervisor restarts the worker with
+  journal recovery and the driver retries the op under the same rid;
+  idempotent replay must return the committed outcome. Injected journal
+  faults are a single-process trick and cannot cross the process
+  boundary, so worker campaigns trade ``persistence_rate`` for
+  ``worker_kill_rate``.
 
 Determinism: the schedule and the fault placement draw from independent
 seeded streams, so replaying a seed replays the campaign, faults and
-kills included.
+kills included. (Worker campaigns pin *which* op a SIGKILL lands on;
+where inside the kernel's scheduling the process actually dies is real
+nondeterminism — that is the point — but the acked-ops invariants hold
+on every interleaving.)
 """
 
 from __future__ import annotations
@@ -83,10 +95,17 @@ class FleetChaosConfig:
     target_live: int = 10
     priority_levels: int = 15
     #: Probability an op arms a random journal fault (on the shared
-    #: plane: whichever shard appends next trips it).
+    #: plane: whichever shard appends next trips it). Ignored in worker
+    #: mode — injection cannot cross the process boundary.
     persistence_rate: float = 0.20
     #: Probability an op is preceded by a primary kill (if none pending).
     kill_rate: float = 0.04
+    #: Shard workers to run (0 = in-process shards, the default).
+    workers: int = 0
+    #: Probability an op is preceded by a real SIGKILL of a worker
+    #: process (worker mode only). Half land between ops, half are
+    #: armed to fire mid-RPC on the op itself.
+    worker_kill_rate: float = 0.0
     backoff_base: float = 0.005
     backoff_cap: float = 0.1
 
@@ -174,6 +193,9 @@ class _FleetRun:
     degraded_recoveries: int = 0
     duplicate_acks: int = 0
     ops_while_dead: int = 0
+    worker_kills: int = 0
+    worker_retries: int = 0
+    worker_restarts: int = 0
 
 
 def _build_fleet(
@@ -193,7 +215,8 @@ def _build_fleet(
                 cfg.tenant_specs(),
                 shards=cfg.shards,
                 state_dir=state_dir,
-                fault_plane=plane,
+                fault_plane=None if cfg.workers else plane,
+                workers=cfg.workers,
             )
             return fleet, StandbyPool(fleet)
         except InjectedCrash:
@@ -255,7 +278,27 @@ def run_fleet_chaos_campaign(
                     run.kills += 1
                     if driver_rng.random() < 0.5:
                         _promote_dead(fleet, standbys, run)
-                if driver_rng.random() < cfg.persistence_rate:
+                if (
+                    fleet.supervisor is not None
+                    and driver_rng.random() < cfg.worker_kill_rate
+                ):
+                    run.worker_kills += 1
+                    if driver_rng.random() < 0.5:
+                        # Between ops: the next request to land on this
+                        # worker finds a corpse and rides the restart.
+                        victim = driver_rng.randrange(
+                            len(fleet.supervisor.workers)
+                        )
+                        fleet.supervisor.kill_worker(victim)
+                    else:
+                        # Mid-RPC: SIGKILL fires after this op's bytes
+                        # reach the worker, before any ack — the
+                        # fate-unknown window rid idempotency exists for.
+                        fleet.supervisor.arm_inflight_kill()
+                if (
+                    cfg.workers == 0
+                    and driver_rng.random() < cfg.persistence_rate
+                ):
                     kind = PERSISTENCE_FAULTS[
                         driver_rng.randrange(len(PERSISTENCE_FAULTS))
                     ]
@@ -263,7 +306,7 @@ def run_fleet_chaos_campaign(
                 request = build_request(
                     entry, run.live[tenant], target_live=cfg.target_live
                 )
-                for _ in range(_MAX_ATTEMPTS):
+                for attempt in range(_MAX_ATTEMPTS):
                     try:
                         response = fleet.handle_request(tenant, request)
                     except InjectedCrash:
@@ -279,6 +322,21 @@ def run_fleet_chaos_campaign(
                         continue
                     if response.get("ok"):
                         break
+                    if response.get("code") == "worker":
+                        # The shard's worker died mid-op and is being
+                        # restarted with journal recovery; re-issue the
+                        # same rid — the idempotency table answers for
+                        # whatever the dead worker committed. Back off
+                        # between retries: a hot loop starves the dying
+                        # child of the CPU it needs to finish exiting.
+                        run.worker_retries += 1
+                        time.sleep(
+                            min(
+                                cfg.backoff_cap,
+                                cfg.backoff_base * (2 ** min(attempt, 8)),
+                            )
+                        )
+                        continue
                     if response.get("code") == "degraded":
                         run.degraded_recoveries += 1
                         if tf.dead:
@@ -319,10 +377,21 @@ def run_fleet_chaos_campaign(
             # Leave no primary dead: promote stragglers so the final
             # fleet (and the fresh recovery below) is fully serving.
             _promote_dead(fleet, standbys, run)
+            if fleet.supervisor is not None:
+                # Quiesce: drop any unconsumed mid-RPC kill and bring
+                # every worker back to serving before the read-only
+                # fingerprint pass — the last op's SIGKILL may still
+                # be tearing a worker down.
+                fleet.supervisor.disarm_inflight_kill()
+                fleet.supervisor.ensure_all()
             live_shas = {
                 t: fleet.tenants[t].fingerprint()[0]
                 for t in fleet.tenants
             }
+            if fleet.supervisor is not None:
+                run.worker_restarts = sum(
+                    wp.restarts for wp in fleet.supervisor.workers
+                )
         finally:
             fleet.close()
 
@@ -377,6 +446,10 @@ def run_fleet_chaos_campaign(
         ops_while_dead=run.ops_while_dead,
         degraded_recoveries=run.degraded_recoveries,
         duplicate_acks=run.duplicate_acks,
+        workers=cfg.workers,
+        worker_kills=run.worker_kills,
+        worker_retries=run.worker_retries,
+        worker_restarts=run.worker_restarts,
         outcome_mismatches=mismatches,
         oracle_shas=oracle_shas,
         live_shas=live_shas,
@@ -404,6 +477,10 @@ class FleetChaosReport:
     ops_while_dead: int
     degraded_recoveries: int
     duplicate_acks: int
+    workers: int
+    worker_kills: int
+    worker_retries: int
+    worker_restarts: int
     outcome_mismatches: int
     oracle_shas: Dict[str, str]
     live_shas: Dict[str, str]
@@ -447,6 +524,10 @@ class FleetChaosReport:
             "ops_while_dead": self.ops_while_dead,
             "degraded_recoveries": self.degraded_recoveries,
             "duplicate_acks": self.duplicate_acks,
+            "workers": self.workers,
+            "worker_kills": self.worker_kills,
+            "worker_retries": self.worker_retries,
+            "worker_restarts": self.worker_restarts,
             "outcome_mismatches": self.outcome_mismatches,
             "oracle_shas": self.oracle_shas,
             "live_shas": self.live_shas,
@@ -460,12 +541,20 @@ class FleetChaosReport:
 
     def summary(self) -> str:
         verdict = "OK" if self.ok else "FAILED"
+        worker_leg = (
+            f"{self.worker_kills} worker SIGKILLs -> "
+            f"{self.worker_restarts} restarts "
+            f"({self.worker_retries} retried ops), "
+            if self.workers else ""
+        )
         return (
             f"fleet chaos seed={self.seed}: {self.ops} ops over "
-            f"{self.tenants} tenants x {self.shards} shards, "
+            f"{self.tenants} tenants x {self.shards} shards"
+            f"{f' x {self.workers} workers' if self.workers else ''}, "
             f"{self.faults_total} faults, {self.fleet_restarts} fleet "
             f"restarts, {self.kills} kills -> {self.promotions} "
             f"promotions ({self.ops_while_dead} ops hit a dead shard), "
+            f"{worker_leg}"
             f"{self.duplicate_acks} duplicate acks -> recovery "
             f"{'bit-identical' if self.bit_identical else 'DIVERGED'}, "
             f"{sum(map(len, self.acked_then_lost.values()))} "

@@ -26,13 +26,22 @@ framing) exposing the broker protocol as a JSON-over-HTTP API:
     API key must belong to the named tenant.
 ``POST /admin/kill`` ``{"tenant": ..., "shard": N}``
     Simulate a primary crash (testing/chaos; same auth rule).
+``POST /admin/kill_worker`` ``{"worker": N}``
+    SIGKILL worker process ``N`` (worker-pool mode only; any valid
+    tenant key). The monitor task restarts it with journal recovery —
+    the drill CI runs to prove supervised restarts converge.
 ``POST /v1/shutdown``
     Stop the gateway (any valid tenant key).
 
-Every admission op executes synchronously on the event-loop thread —
-the same single-writer model as the broker's worker task, so decisions
-stay linearisable per tenant without locks. A background task tails the
-journals into the warm standbys between requests.
+In the default in-process fleet every admission op executes
+synchronously on the event-loop thread — the same single-writer model
+as the broker's worker task, so decisions stay linearisable per tenant
+without locks. In worker-pool mode (``repro gateway --workers N``) the
+shards run in supervised child processes, so ops dispatch to a thread
+pool under one asyncio lock per tenant: still single-writer *per
+tenant*, but different tenants' admissions now run truly in parallel
+across cores. Background tasks tail the journals into the warm standbys
+and restart any worker that dies.
 """
 
 from __future__ import annotations
@@ -40,6 +49,8 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
@@ -82,6 +93,9 @@ class GatewayServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._stopping: Optional[asyncio.Event] = None
         self._poll_task: Optional[asyncio.Task] = None
+        self._monitor_task: Optional[asyncio.Task] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._tenant_locks: Dict[str, asyncio.Lock] = {}
         self._clients: set = set()
 
     # ------------------------------------------------------------------ #
@@ -95,6 +109,16 @@ class GatewayServer:
         )
         if self.standbys is not None:
             self._poll_task = asyncio.create_task(self._poll_standbys())
+        if self.fleet.supervisor is not None:
+            # Worker-pool mode: fleet ops block on a child-process RPC,
+            # so they leave the event loop for a thread pool — one
+            # tenant may run at a time (asyncio lock per tenant keeps
+            # the single-writer order), different tenants in parallel.
+            self._executor = ThreadPoolExecutor(
+                max_workers=len(self.fleet.tenants) + 1,
+                thread_name_prefix="gw-fleet",
+            )
+            self._monitor_task = asyncio.create_task(self._monitor_workers())
 
     @property
     def port(self) -> int:
@@ -126,13 +150,18 @@ class GatewayServer:
         if self._clients:
             await asyncio.gather(*self._clients, return_exceptions=True)
         self._clients.clear()
-        if self._poll_task is not None:
-            self._poll_task.cancel()
-            try:
-                await self._poll_task
-            except asyncio.CancelledError:
-                pass
-            self._poll_task = None
+        for attr in ("_poll_task", "_monitor_task"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, attr, None)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
         self.fleet.close()
 
     async def _poll_standbys(self) -> None:
@@ -143,6 +172,36 @@ class GatewayServer:
             except ReproError:  # pragma: no cover - defensive
                 logger.exception("standby catch-up failed")
             await asyncio.sleep(self.poll_interval)
+
+    async def _monitor_workers(self) -> None:
+        """Respawn dead workers between requests, not just on the next
+        request that happens to hit one (a wedged worker whose tenants
+        are idle would otherwise stay down forever)."""
+        supervisor = self.fleet.supervisor
+        assert supervisor is not None and self._executor is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.poll_interval)
+            try:
+                await loop.run_in_executor(
+                    self._executor, supervisor.ensure_all
+                )
+            except ReproError:  # pragma: no cover - defensive
+                logger.exception("worker respawn failed")
+
+    async def _dispatch(
+        self, tenant: str, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Run a fleet op: inline for in-process shards, via the thread
+        pool (serialised per tenant) when shards live in workers."""
+        if self._executor is None:
+            return self.fleet.handle_request(tenant, request)
+        lock = self._tenant_locks.setdefault(tenant, asyncio.Lock())
+        loop = asyncio.get_running_loop()
+        async with lock:
+            return await loop.run_in_executor(
+                self._executor, self.fleet.handle_request, tenant, request
+            )
 
     # ------------------------------------------------------------------ #
     # HTTP plumbing
@@ -169,7 +228,9 @@ class GatewayServer:
                         {"ok": False, "error": exc.message}, False,
                     )
                     break
-                status, payload = self._route(method, target, headers, body)
+                status, payload = await self._route(
+                    method, target, headers, body
+                )
                 self.requests[(urlsplit(target).path, status)] = (
                     self.requests.get((urlsplit(target).path, status), 0) + 1
                 )
@@ -247,7 +308,7 @@ class GatewayServer:
     # Routing
     # ------------------------------------------------------------------ #
 
-    def _route(
+    async def _route(
         self,
         method: str,
         target: str,
@@ -268,7 +329,9 @@ class GatewayServer:
                 payload = self._parse_body(body)
                 if path.startswith("/admin/"):
                     return self._admin(path, tenant, payload)
-                return self._v1(method, path, split.query, tenant, payload)
+                return await self._v1(
+                    method, path, split.query, tenant, payload
+                )
             return 404, {"ok": False, "error": f"no route {path!r}"}
         except _HttpError as exc:
             return exc.status, {"ok": False, "error": exc.message}
@@ -322,7 +385,44 @@ class GatewayServer:
                 f"{t}/{s}": sb.ops_applied
                 for (t, s), sb in sorted(self.standbys.standbys.items())
             }
+        if self.fleet.supervisor is not None:
+            workers = []
+            for wp in self.fleet.supervisor.workers:
+                workers.append({
+                    "index": wp.index,
+                    "pid": wp.pid,
+                    "alive": wp.alive,
+                    "restarts": wp.restarts,
+                    "shards": sorted(wp.assigned),
+                    "journal_lag_bytes": self._worker_journal_lag(wp),
+                })
+                healthy = healthy and wp.alive
+            out["workers"] = workers
+            out["ok"] = healthy
         return (200 if healthy else 503), out
+
+    def _worker_journal_lag(self, wp: Any) -> int:
+        """Bytes of journal the standbys have not yet shipped, summed
+        over the worker's shards (0 without standbys: nothing tails, so
+        there is no lag to speak of)."""
+        if self.standbys is None:
+            return 0
+        lag = 0
+        for key, spec in wp.assigned.items():
+            journal = Path(spec["state_dir"]) / "journal.jsonl"
+            try:
+                size = journal.stat().st_size
+            except OSError:
+                continue
+            tenant, _, shard_name = key.partition("/")
+            try:
+                shard = int(shard_name.rsplit("-", 1)[1])
+            except (IndexError, ValueError):  # pragma: no cover
+                continue
+            sb = self.standbys.standbys.get((tenant, shard))
+            if sb is not None:
+                lag += max(0, size - sb.tailer.offset)
+        return lag
 
     def _gateway_metrics(self, reg: MetricsRegistry) -> None:
         for (path, status), count in sorted(self.requests.items()):
@@ -344,8 +444,32 @@ class GatewayServer:
                     "Journal records shipped into the warm standby.",
                     tenant=tenant, shard=str(shard),
                 ).value = float(sb.ops_applied)
+        if self.fleet.supervisor is not None:
+            for wp in self.fleet.supervisor.workers:
+                worker = str(wp.index)
+                reg.gauge(
+                    "repro_fleet_worker_up",
+                    "1 if the worker process is alive, else 0.",
+                    worker=worker,
+                ).value = 1.0 if wp.alive else 0.0
+                reg.gauge(
+                    "repro_fleet_worker_pid",
+                    "PID of the worker process (changes on restart).",
+                    worker=worker,
+                ).value = float(wp.pid or 0)
+                reg.counter(
+                    "repro_fleet_worker_restarts_total",
+                    "Supervised restarts of the worker process.",
+                    worker=worker,
+                ).value = float(wp.restarts)
+                reg.gauge(
+                    "repro_fleet_worker_journal_lag_bytes",
+                    "Journal bytes not yet shipped to warm standbys, "
+                    "summed over the worker's shards.",
+                    worker=worker,
+                ).value = float(self._worker_journal_lag(wp))
 
-    def _v1(
+    async def _v1(
         self,
         method: str,
         path: str,
@@ -366,7 +490,7 @@ class GatewayServer:
                 return 200, {
                     "ok": True, "stopping": True, "id": payload.get("id"),
                 }
-            return 200, self.fleet.handle_request(tenant, payload)
+            return 200, await self._dispatch(tenant, payload)
         op = path[len("/v1/"):]
         if op not in _OPS:
             return 404, {"ok": False, "error": f"no route {path!r}"}
@@ -378,11 +502,27 @@ class GatewayServer:
                 request.setdefault(
                     k, values[0] if len(values) == 1 else values
                 )
-        return 200, self.fleet.handle_request(tenant, request)
+        return 200, await self._dispatch(tenant, request)
 
     def _admin(
         self, path: str, tenant: str, payload: Dict[str, Any]
     ) -> Tuple[int, Any]:
+        if path == "/admin/kill_worker":
+            # Workers host shards of many tenants, so this is not a
+            # tenant-scoped op — any valid API key may run the drill.
+            supervisor = self.fleet.supervisor
+            if supervisor is None:
+                raise _HttpError(
+                    400, "gateway runs in-process shards (no --workers)"
+                )
+            worker = payload.get("worker")
+            n = len(supervisor.workers)
+            if not isinstance(worker, int) or not 0 <= worker < n:
+                raise _HttpError(
+                    400, f"'worker' must be an index in [0, {n})"
+                )
+            pid = supervisor.kill_worker(worker)
+            return 200, {"ok": True, "killed_worker": worker, "pid": pid}
         target = payload.get("tenant", tenant)
         if target != tenant:
             raise _HttpError(
@@ -410,6 +550,6 @@ class GatewayServer:
                 return 503, {"ok": False, "error": str(exc)}
             return 200, {
                 "ok": True, "promoted": shard,
-                "admitted": len(tf.hosts[shard].engine.admitted),
+                "admitted": tf.hosts[shard].admitted_count(),
             }
         return 404, {"ok": False, "error": f"no route {path!r}"}

@@ -275,10 +275,11 @@ class StandbyPool:
         if key not in self.standbys:
             raise ReproError(f"no standby for tenant {tenant!r} shard {shard}")
         tf = self.fleet.tenants[tenant]
-        old = tf.hosts[shard]
         # The primary must be dead before its successor opens the
-        # journal; close() is idempotent and a no-op after a real crash.
-        old.close()
+        # journal: detach closes an in-process host (idempotent, no-op
+        # after a real crash) and evicts a worker-hosted shard from its
+        # child process, so no worker respawn ever reopens this journal.
+        tf.detach_shard(shard)
         promoted = self.standbys[key].promote()
         tf.replace_host(shard, promoted)
         self.standbys[key] = ShardStandby(

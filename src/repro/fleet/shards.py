@@ -32,6 +32,19 @@ through the same journaled ops.
 Id allocation lives at the tenant level (the fleet mirrors the engine's
 ``fresh_id`` / high-water-mark semantics exactly), because ids must come
 out identical to the single-engine reference regardless of placement.
+
+Shard clients
+-------------
+The manager never touches an engine directly: every shard is driven
+through the *shard-client* surface (``handle_request`` plus the
+accessors :meth:`~repro.service.host.EngineHost.shard_dump`,
+``upper_bounds``, ``admitted_count``, ``drop_rid``, ``detach``, ...),
+so ``self.hosts`` can hold in-process :class:`EngineHost`\\ s (the
+default) or :class:`~repro.fleet.workers.WorkerShard` proxies fronting
+supervised child processes (``Fleet(..., workers=N)``). Worker deaths
+surface as retryable errors; a death between a migration's journaled
+admit and journaled release leaves the same duplicate-id artefact
+recovery already repairs, just spanning two processes.
 """
 
 from __future__ import annotations
@@ -74,6 +87,9 @@ _CODE_TO_ERROR = {
 
 
 def _error_code(exc: ReproError) -> str:
+    explicit = getattr(exc, "code", None)
+    if isinstance(explicit, str) and explicit:
+        return explicit
     for code, cls in _CODE_TO_ERROR.items():
         if isinstance(exc, cls):
             return code
@@ -114,6 +130,7 @@ class TenantFleet:
         analysis: Optional[str] = None,
         incremental: Optional[bool] = None,
         fault_plane: Optional[FaultPlane] = None,
+        shard_clients: Optional[List[Any]] = None,
     ):
         if shards < 1:
             raise ReproError(f"need at least one shard, got {shards}")
@@ -123,21 +140,29 @@ class TenantFleet:
         self._route_table = shared_route_table(self.routing)
         self.state_dir = Path(state_dir) if state_dir is not None else None
         self.fault_plane = fault_plane
-        self.hosts: List[EngineHost] = [
-            EngineHost(
-                self.topology_spec,
-                state_dir=(
-                    None if self.state_dir is None
-                    else self.state_dir / f"shard-{i}"
-                ),
-                use_modify=use_modify,
-                residency_margin=residency_margin,
-                analysis=analysis,
-                incremental=incremental,
-                fault_plane=fault_plane,
-            )
-            for i in range(shards)
-        ]
+        if shard_clients is not None:
+            # Pre-built shard clients (worker-process proxies): the
+            # engines live elsewhere; this manager only places and
+            # forwards. Recovery below runs over RPC dumps.
+            if not shard_clients:
+                raise ReproError("shard_clients must be non-empty")
+            self.hosts: List[Any] = list(shard_clients)
+        else:
+            self.hosts = [
+                EngineHost(
+                    self.topology_spec,
+                    state_dir=(
+                        None if self.state_dir is None
+                        else self.state_dir / f"shard-{i}"
+                    ),
+                    use_modify=use_modify,
+                    residency_margin=residency_margin,
+                    analysis=analysis,
+                    incremental=incremental,
+                    fault_plane=fault_plane,
+                )
+                for i in range(shards)
+            ]
         self.metrics = ServiceMetrics()
         #: sid -> shard index currently holding the stream.
         self.owner: Dict[int, int] = {}
@@ -173,8 +198,13 @@ class TenantFleet:
           escalation uses.
         """
         seen: Dict[int, int] = {}
+        specs: Dict[int, Dict[str, Any]] = {}
+        dumps: List[Dict[str, Any]] = []
         for i, host in enumerate(self.hosts):
-            for sid in sorted(host.engine.admitted.ids()):
+            dump = host.shard_dump()
+            dumps.append(dump)
+            for entry in dump["streams"]:
+                sid = int(entry["stream"]["id"])
                 if sid in seen:
                     logger.warning(
                         "tenant %s: stream %d duplicated on shards %d/%d "
@@ -184,11 +214,10 @@ class TenantFleet:
                     self._forward(host, {"op": "release", "ids": [sid]})
                     continue
                 seen[sid] = i
+                specs[sid] = entry["stream"]
         for sid, shard in seen.items():
             self.owner[sid] = shard
-            self.index.add(sid, self._stream_channels(
-                self.hosts[shard].engine.admitted[sid]
-            ))
+            self.index.add(sid, self._spec_channels(specs[sid]))
         # Re-merge any component the crash left spanning shards.
         for comp in self.index.components():
             shards_touched = sorted({self.owner[sid] for sid in comp})
@@ -203,15 +232,15 @@ class TenantFleet:
         # High-water mark: the engines persist theirs per shard; the
         # tenant mark is the max (never below max(admitted) + 1).
         self._next_id = max(
-            [h.engine.next_id for h in self.hosts]
+            [d["next_id"] for d in dumps]
             + [sid + 1 for sid in self.owner]
             + [0]
         )
         # Idempotency: an admit's rid lives on one shard; a cross-shard
         # release's rid lives on several, each holding its subset — merge
         # the released lists (sorted; the request order is not recorded).
-        for host in self.hosts:
-            for rid, outcome in host._applied.items():
+        for dump in dumps:
+            for rid, outcome in dump["applied"].items():
                 prior = self._applied.get(rid)
                 if (prior and "released" in prior
                         and "released" in outcome):
@@ -231,6 +260,39 @@ class TenantFleet:
             self._route_table, self.topology, stream.src, stream.dst
         )
 
+    def _spec_channels(self, spec: Dict[str, Any]) -> FrozenSet[Channel]:
+        return entry_channels(
+            self._route_table, self.topology,
+            int(spec["src"]), int(spec["dst"]),
+        )
+
+    def _held_ids(self, host: Any, ids: List[int]) -> List[int]:
+        """Which of ``ids`` the shard durably holds right now (probe)."""
+        return sorted(
+            int(e["stream"]["id"])
+            for e in host.shard_dump(list(ids))["streams"]
+        )
+
+    def _probe_stable(self, fn):
+        """Run a probe/undo step through a worker bounce.
+
+        The crash-window repair reads and rewrites the very shards
+        whose worker just died, and in worker mode every shard of the
+        tenant lives on that one process. The first failed call has
+        already respawned the worker (the shard proxy ensures before
+        raising its retryable error), so retrying here sees the
+        recovered journal state instead of aborting the undo half-way
+        and leaving ghost admissions for the next attempt to trip on.
+        """
+        for _ in range(8):
+            try:
+                return fn()
+            except ReproError as exc:
+                if getattr(exc, "code", None) != "worker":
+                    raise
+                time.sleep(0.05)
+        return fn()
+
     def _fresh_id(self) -> int:
         while self._next_id in self.owner:
             self._next_id += 1
@@ -243,10 +305,12 @@ class TenantFleet:
         self._next_id = max(int(value), floor)
 
     def _least_loaded(self) -> int:
-        return min(
-            range(len(self.hosts)),
-            key=lambda i: (len(self.hosts[i].engine.admitted), i),
-        )
+        # Placement-table counts, not engine counts: identical under the
+        # owner/shard invariant, and free of a per-shard RPC round trip.
+        load = [0] * len(self.hosts)
+        for shard in self.owner.values():
+            load[shard] += 1
+        return min(range(len(self.hosts)), key=lambda i: (load[i], i))
 
     def _escalation_target(self, comp: Set[int]) -> int:
         """The shard keeping its streams in a cross-shard merge: the one
@@ -269,9 +333,17 @@ class TenantFleet:
         response = host.handle_request(request)
         if response.get("ok"):
             return response
-        raise _CODE_TO_ERROR.get(response.get("code"), ReproError)(
+        code = response.get("code")
+        exc = _CODE_TO_ERROR.get(code, ReproError)(
             response.get("error", "shard error")
         )
+        # Codes outside the typed map (e.g. "worker": a shard worker
+        # died mid-op and was restarted; the caller should retry) must
+        # round-trip through the fleet's error response unchanged — the
+        # retry loop keys on them.
+        if code and code not in _CODE_TO_ERROR:
+            exc.code = code
+        raise exc
 
     def _gate_shards(self, shard_indexes: Set[int]) -> None:
         """Refuse a mutation while any involved shard is down or
@@ -296,9 +368,14 @@ class TenantFleet:
 
         Admit-then-release per source shard: the target journals the
         admission first, so a crash in between duplicates (recoverable)
-        instead of losing acked streams. A journal failure on the source
-        release rolls the target admission back, leaving placement
-        unchanged.
+        instead of losing acked streams. On failure the shards are
+        *probed* (``shard_dump``) rather than trusted from bookkeeping:
+        a worker can die after journaling a sub-op but before acking it,
+        so what each process durably holds is the only truth. Three
+        cases fall out: the source release committed unacked (the
+        migration actually completed), the target admit committed
+        unacked (undo it from the probe), or a plain failure (undo the
+        acked admissions). All leave placement consistent.
         """
         by_source: Dict[int, List[int]] = {}
         for sid in comp:
@@ -312,11 +389,15 @@ class TenantFleet:
             ids = sorted(by_source[source])
             src_host = self.hosts[source]
             groups: Dict[str, List[dict]] = {}
-            for sid in ids:
+            for entry in src_host.shard_dump(ids)["streams"]:
                 groups.setdefault(
-                    src_host.engine.analysis_of(sid), []
-                ).append(stream_to_spec(src_host.engine.admitted[sid]))
-            admitted_groups: List[Tuple[str, List[dict]]] = []
+                    entry["analysis"], []
+                ).append(entry["stream"])
+            if sum(len(g) for g in groups.values()) != len(ids):
+                raise ReproError(  # pragma: no cover - defensive
+                    f"placement out of sync: shard {source} no longer "
+                    f"holds all of {ids}"
+                )
             try:
                 for name in sorted(groups):
                     response = self._forward(
@@ -330,17 +411,30 @@ class TenantFleet:
                             f"{target}; the moved set was feasible in "
                             "place, so this is a placement bug"
                         )
-                    admitted_groups.append((name, groups[name]))
                 self._forward(src_host, {"op": "release", "ids": ids})
             except ReproError:
-                # Undo the target-side admissions so a failed migration
-                # leaves placement exactly as it was.
-                undo = [e["id"] for _, g in admitted_groups for e in g]
-                if undo:
-                    self._forward(
-                        self.hosts[target], {"op": "release", "ids": undo}
-                    )
-                raise
+                if not self._probe_stable(
+                    lambda: self._held_ids(src_host, ids)
+                ):
+                    # The source release committed but its ack was lost
+                    # (worker death window): the migration is complete.
+                    pass
+                else:
+                    # Undo whatever the target durably admitted —
+                    # including commits whose acks died with a worker —
+                    # so a failed migration leaves placement as it was.
+                    # Probe-and-release as one retried unit: held_ids
+                    # is recomputed per attempt so an undo whose own
+                    # ack was lost is not released twice.
+                    def _undo_target():
+                        undo = self._held_ids(self.hosts[target], ids)
+                        if undo:
+                            self._forward(
+                                self.hosts[target],
+                                {"op": "release", "ids": undo},
+                            )
+                    self._probe_stable(_undo_target)
+                    raise
             for sid in ids:
                 self.owner[sid] = target
             self.migrated_streams += len(ids)
@@ -390,9 +484,9 @@ class TenantFleet:
                 "version": __version__,
                 "topology": self.topology_spec,
                 "nodes": self.topology.num_nodes,
-                "incremental": self.hosts[0].engine.incremental,
+                "incremental": self.hosts[0].incremental,
                 "analyses": list(_backends.names()),
-                "default_analysis": self.hosts[0].engine.default_analysis,
+                "default_analysis": self.hosts[0].default_analysis,
                 "shards": len(self.hosts),
                 "tenant": self.name,
             }
@@ -413,9 +507,9 @@ class TenantFleet:
                 "service": self.metrics.to_dict(),
                 "shards": [
                     {
-                        "admitted": len(h.engine.admitted),
+                        "admitted": h.admitted_count(),
                         "degraded": h.degraded,
-                        "engine": h.engine.stats.to_dict(),
+                        "engine": h.engine_stats(),
                     }
                     for h in self.hosts
                 ],
@@ -530,10 +624,28 @@ class TenantFleet:
             self._reset_next_id(next_id_before)
             raise
         if response.get("duplicate"):
-            # The shard had the rid but the fleet table didn't (possible
-            # only around RID_CAP eviction skew): pass the recorded
-            # outcome through; there is no fresh decision to merge.
-            self._reset_next_id(next_id_before)
+            # The shard had the rid but the fleet table didn't: RID_CAP
+            # eviction skew, or — in worker mode — a death after the
+            # shard journaled the admit but before the fleet recorded
+            # it, now being retried. Adopt any committed ids placement
+            # doesn't know yet, so the books match what the shard
+            # durably holds; otherwise pass the outcome through.
+            adopted = [int(i) for i in response.get("ids") or []]
+            missing = [sid for sid in adopted if sid not in self.owner]
+            if response.get("admitted") and missing:
+                for entry in (self.hosts[target]
+                              .shard_dump(missing)["streams"]):
+                    spec = entry["stream"]
+                    self.owner[int(spec["id"])] = target
+                    self.index.add(
+                        int(spec["id"]), self._spec_channels(spec)
+                    )
+                self._next_id = max(self._next_id, max(adopted) + 1)
+                self._record_applied(
+                    rid, {"admitted": True, "ids": adopted}
+                )
+            else:
+                self._reset_next_id(next_id_before)
             return {k: v for k, v in response.items() if k != "ok"}
         if response["admitted"]:
             for s in streams:
@@ -548,11 +660,12 @@ class TenantFleet:
         # closures don't reach the batch), so merging their cached bounds
         # reconstructs the reference response exactly.
         bounds = dict(response["bounds"])
+        shard_bounds: Dict[int, Dict[str, int]] = {}
         for sid, shard in self.owner.items():
             if shard != target:
-                bounds[str(sid)] = (
-                    self.hosts[shard].engine.verdict(sid).upper_bound
-                )
+                if shard not in shard_bounds:
+                    shard_bounds[shard] = self.hosts[shard].upper_bounds()
+                bounds[str(sid)] = shard_bounds[shard][str(sid)]
         response["bounds"] = bounds
         response.pop("ok", None)
         response.pop("duplicate", None)
@@ -585,10 +698,10 @@ class TenantFleet:
         for shard in sorted(groups):
             host = self.hosts[shard]
             saved: Dict[str, List[dict]] = {}
-            for sid in groups[shard]:
+            for entry in host.shard_dump(groups[shard])["streams"]:
                 saved.setdefault(
-                    host.engine.analysis_of(sid), []
-                ).append(stream_to_spec(host.engine.admitted[sid]))
+                    entry["analysis"], []
+                ).append(entry["stream"])
             sub: Dict[str, Any] = {"op": "release", "ids": groups[shard]}
             if rid is not None:
                 sub["rid"] = rid
@@ -628,7 +741,7 @@ class TenantFleet:
             if rid is not None:
                 # The sub-release's rid record would otherwise satisfy a
                 # retry without re-applying.
-                host._applied.pop(rid, None)
+                host.drop_rid(rid)
 
     def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
         sid = request.get("stream")
@@ -738,10 +851,21 @@ class TenantFleet:
             raise ReproError(f"no shard {shard} (have {len(self.hosts)})")
         self.dead.add(shard)
 
-    def replace_host(self, shard: int, host: EngineHost) -> None:
+    def replace_host(self, shard: int, host: Any) -> None:
         """Swap in a promoted host for a failed primary (failover)."""
         self.hosts[shard] = host
         self.dead.discard(shard)
+
+    def detach_shard(self, shard: int) -> None:
+        """Release the shard's journal for a parent-side takeover.
+
+        In-process hosts just close; worker proxies evict the shard
+        from their child process first, so a standby promotion never
+        opens a journal a worker still writes (single-writer rule).
+        """
+        if not 0 <= shard < len(self.hosts):
+            raise ReproError(f"no shard {shard} (have {len(self.hosts)})")
+        self.hosts[shard].detach()
 
     def close(self) -> None:
         for host in self.hosts:
@@ -759,6 +883,7 @@ class Fleet:
         state_dir: Optional[Union[str, Path]] = None,
         incremental: Optional[bool] = None,
         fault_plane: Optional[FaultPlane] = None,
+        workers: int = 0,
     ):
         if not tenants:
             raise ReproError("fleet needs at least one tenant")
@@ -769,21 +894,74 @@ class Fleet:
         if len(set(keys)) != len(keys):
             raise ReproError("tenant api keys must be unique")
         self.state_dir = Path(state_dir) if state_dir is not None else None
-        self.tenants: Dict[str, TenantFleet] = {
-            t.name: TenantFleet(
-                t.name,
-                t.topology_spec,
-                shards=shards,
-                state_dir=(
-                    None if self.state_dir is None
-                    else self.state_dir / t.name
-                ),
-                analysis=t.analysis,
-                incremental=incremental,
-                fault_plane=fault_plane,
-            )
-            for t in tenants
-        }
+        self.workers = int(workers)
+        self.supervisor = None
+        if self.workers:
+            # Worker-pool mode: shards execute in supervised child
+            # processes; this process keeps only placement + routing.
+            from .workers import WorkerShard, WorkerSupervisor
+
+            if self.state_dir is None:
+                raise ReproError(
+                    "worker processes need a persistent fleet "
+                    "(state_dir): journals are how restarts recover"
+                )
+            if fault_plane is not None:
+                raise ReproError(
+                    "fault_plane injection cannot cross the process "
+                    "boundary; use the worker_kill chaos fault instead"
+                )
+            self.supervisor = WorkerSupervisor(self.state_dir, self.workers)
+            for t in tenants:
+                self.supervisor.assign_tenant(t.name, {
+                    f"{t.name}/shard-{i}": {
+                        "state_dir": str(
+                            self.state_dir / t.name / f"shard-{i}"
+                        ),
+                        "topology": t.topology_spec,
+                        "analysis": t.analysis,
+                        "incremental": incremental,
+                    }
+                    for i in range(shards)
+                })
+            self.supervisor.start()
+            try:
+                self.tenants: Dict[str, TenantFleet] = {
+                    t.name: TenantFleet(
+                        t.name,
+                        t.topology_spec,
+                        shards=shards,
+                        state_dir=self.state_dir / t.name,
+                        analysis=t.analysis,
+                        incremental=incremental,
+                        shard_clients=[
+                            WorkerShard(
+                                self.supervisor, f"{t.name}/shard-{i}"
+                            )
+                            for i in range(shards)
+                        ],
+                    )
+                    for t in tenants
+                }
+            except ReproError:
+                self.supervisor.stop()
+                raise
+        else:
+            self.tenants = {
+                t.name: TenantFleet(
+                    t.name,
+                    t.topology_spec,
+                    shards=shards,
+                    state_dir=(
+                        None if self.state_dir is None
+                        else self.state_dir / t.name
+                    ),
+                    analysis=t.analysis,
+                    incremental=incremental,
+                    fault_plane=fault_plane,
+                )
+                for t in tenants
+            }
         self._keys: Dict[str, str] = {t.api_key: t.name for t in tenants}
 
     def tenant_for_key(self, api_key: Optional[str]) -> Optional[str]:
@@ -802,6 +980,10 @@ class Fleet:
         return tf.handle_request(request)
 
     def healthy(self) -> bool:
+        if self.supervisor is not None and not all(
+            wp.alive for wp in self.supervisor.workers
+        ):
+            return False
         return not any(
             tf.dead or tf.degraded for tf in self.tenants.values()
         )
@@ -835,25 +1017,33 @@ class Fleet:
                     "Requests handled by the fleet, by tenant and op.",
                     tenant=tname, op=op,
                 ).value = float(count)
+            shard_streams = [0] * len(tf.hosts)
+            for shard_idx in tf.owner.values():
+                shard_streams[shard_idx] += 1
             for i, host in enumerate(tf.hosts):
                 shard = str(i)
                 reg.gauge(
                     "repro_fleet_shard_streams",
                     "Streams admitted on the shard.",
                     tenant=tname, shard=shard,
-                ).set(len(host.engine.admitted))
+                ).set(shard_streams[i])
                 reg.gauge(
                     "repro_fleet_shard_degraded",
                     "1 while the shard is in read-only degraded mode.",
                     tenant=tname, shard=shard,
                 ).set(1.0 if host.degraded else 0.0)
-                es = host.engine.stats
+                try:
+                    es = host.engine_stats()
+                except ReproError:
+                    # Worker down mid-scrape; the supervisor gauges on
+                    # the gateway make that visible.
+                    continue
                 for field in ("ops", "admits", "rejects", "releases"):
                     reg.counter(
                         f"repro_fleet_shard_engine_{field}_total",
                         f"Engine {field} on the shard.",
                         tenant=tname, shard=shard,
-                    ).value = float(getattr(es, field))
+                    ).value = float(es.get(field, 0))
         if extra is not None:
             extra(reg)
         return reg.render()
@@ -861,3 +1051,5 @@ class Fleet:
     def close(self) -> None:
         for tf in self.tenants.values():
             tf.close()
+        if self.supervisor is not None:
+            self.supervisor.stop()

@@ -244,6 +244,80 @@ class EngineHost:
         if self.state is not None:
             self.state.close()
 
+    # ------------------------------------------------------------------ #
+    # Shard-client interface
+    # ------------------------------------------------------------------ #
+    # The fleet's shard manager talks to its shards exclusively through
+    # these accessors (plus ``handle_request``), never through ``engine``
+    # directly, so a shard can equally be this in-process host or a
+    # :class:`repro.fleet.workers.WorkerShard` proxy fronting the same
+    # host in a supervised child process.
+
+    @property
+    def incremental(self) -> bool:
+        return self.engine.incremental
+
+    @property
+    def default_analysis(self) -> str:
+        return self.engine.default_analysis
+
+    @property
+    def next_id(self) -> int:
+        return self.engine.next_id
+
+    def admitted_ids(self) -> List[int]:
+        return sorted(self.engine.admitted.ids())
+
+    def admitted_count(self) -> int:
+        return len(self.engine.admitted)
+
+    def upper_bounds(self) -> Dict[str, int]:
+        """Cached delay bounds of every admitted stream, keyed by str id."""
+        return {
+            str(sid): self.engine.verdict(sid).upper_bound
+            for sid in self.engine.admitted.ids()
+        }
+
+    def engine_stats(self) -> Dict[str, Any]:
+        return self.engine.stats.to_dict()
+
+    def drop_rid(self, rid: str) -> None:
+        """Forget a recorded mutation outcome (release compensation)."""
+        self._applied.pop(str(rid), None)
+
+    def shard_dump(self, ids: Optional[List[int]] = None) -> Dict[str, Any]:
+        """Admitted specs + analyses + id mark, for placement bookkeeping.
+
+        ``ids`` restricts the dump to those streams; ids not (or no
+        longer) admitted are silently skipped, so callers probing after
+        a partial failure see exactly what the shard still holds.
+        """
+        if ids is None:
+            ids = sorted(self.engine.admitted.ids())
+        streams = []
+        for sid in ids:
+            sid = int(sid)
+            if sid not in self.engine.admitted:
+                continue
+            streams.append({
+                "stream": stream_to_spec(self.engine.admitted[sid]),
+                "analysis": self.engine.analysis_of(sid),
+            })
+        return {
+            "streams": streams,
+            "next_id": self.engine.next_id,
+            "applied": {rid: dict(out) for rid, out in self._applied.items()},
+        }
+
+    def detach(self) -> None:
+        """Stop serving and release the journal (single-writer handoff).
+
+        For an in-process host this is just :meth:`close`; the worker
+        proxy overrides it to evict the shard from its child process so
+        a standby promotion never races a worker holding the journal.
+        """
+        self.close()
+
     def _admitted_analyses(self) -> Dict[int, str]:
         """Per-stream backend names of the admitted set (for snapshots)."""
         return {

@@ -28,13 +28,47 @@ from ..faults.plane import FaultPlane
 from .host import DegradedError, EngineHost
 from .protocol import ProtocolError, decode, encode, error_response
 
-__all__ = ["BrokerServer", "DegradedError"]
+__all__ = ["BrokerServer", "DegradedError", "clear_stale_socket"]
 
 logger = logging.getLogger(__name__)
 
 #: Queue sentinel (in the ``prebuilt`` slot): the connection reached EOF;
 #: the worker closes its writer once every earlier response is flushed.
 _EOF = object()
+
+
+def clear_stale_socket(sock_path: Path) -> None:
+    """Remove ``sock_path`` iff it is a unix socket nobody serves.
+
+    The hygiene rules every listener in this codebase (broker and fleet
+    worker alike) applies before binding: refuse to touch anything that
+    is not a socket, probe-connect to distinguish a live server (refuse)
+    from a crash leftover (reclaim), and never race a concurrent bind.
+    """
+    if not stat.S_ISSOCK(sock_path.stat().st_mode):
+        raise ReproError(
+            f"{sock_path} exists and is not a socket; refusing to "
+            "remove it"
+        )
+    probe = socket_module.socket(
+        socket_module.AF_UNIX, socket_module.SOCK_STREAM
+    )
+    try:
+        probe.settimeout(1.0)
+        try:
+            probe.connect(str(sock_path))
+        except (ConnectionRefusedError, socket_module.timeout):
+            sock_path.unlink(missing_ok=True)
+            logger.info("removed stale socket %s", sock_path)
+            return
+        except FileNotFoundError:  # pragma: no cover - lost a race
+            return
+    finally:
+        probe.close()
+    raise ReproError(
+        f"socket {sock_path} is already served by a live broker; "
+        "stop it first or choose another --socket path"
+    )
 
 
 class BrokerServer:
@@ -160,33 +194,12 @@ class BrokerServer:
         )
         self._unix_path = sock_path
 
-    @staticmethod
-    def _clear_stale_socket(sock_path: Path) -> None:
-        """Remove ``sock_path`` iff it is a unix socket nobody serves."""
-        if not stat.S_ISSOCK(sock_path.stat().st_mode):
-            raise ReproError(
-                f"{sock_path} exists and is not a socket; refusing to "
-                "remove it"
-            )
-        probe = socket_module.socket(
-            socket_module.AF_UNIX, socket_module.SOCK_STREAM
-        )
-        try:
-            probe.settimeout(1.0)
-            try:
-                probe.connect(str(sock_path))
-            except (ConnectionRefusedError, socket_module.timeout):
-                sock_path.unlink(missing_ok=True)
-                logger.info("removed stale socket %s", sock_path)
-                return
-            except FileNotFoundError:  # pragma: no cover - lost a race
-                return
-        finally:
-            probe.close()
-        raise ReproError(
-            f"socket {sock_path} is already served by a live broker; "
-            "stop it first or choose another --socket path"
-        )
+    # Kept as a method name for callers/tests that patch it; the logic
+    # is module-level so the fleet's worker processes apply the same
+    # hygiene rules to their per-worker sockets.
+    _clear_stale_socket = staticmethod(
+        lambda sock_path: clear_stale_socket(sock_path)
+    )
 
     async def start_tcp(self, host: str, port: int) -> None:
         """Listen on a TCP address."""

@@ -71,6 +71,63 @@ class TestSmallFleetCampaign:
         assert "fleet chaos seed=0" in report.summary()
 
 
+#: Worker mode, small but hostile: real SIGKILLs of shard worker
+#: processes (half between ops, half armed to fire mid-RPC) on top of
+#: the primary kills. Persistence faults are off by construction —
+#: injection cannot cross the process boundary.
+WORKER_SMALL = FleetChaosConfig(
+    seed=1,
+    ops=48,
+    tenants=2,
+    shards=2,
+    width=5,
+    height=5,
+    target_live=8,
+    kill_rate=0.06,
+    workers=2,
+    worker_kill_rate=0.20,
+)
+
+
+class TestWorkerFleetCampaign:
+    def test_worker_campaign_survives_real_sigkills(self, tmp_path):
+        report = run_fleet_chaos_campaign(WORKER_SMALL, state_dir=tmp_path)
+        assert report.ok, report.summary()
+        assert report.bit_identical
+        assert report.committed == WORKER_SMALL.ops
+        assert report.acked_then_lost == {}
+        assert report.phantom_ids == {}
+        assert report.outcome_mismatches == 0
+        # The hostile rates must actually produce hostility: real
+        # SIGKILLs, real restarts, and ops retried through them.
+        assert report.workers == 2
+        assert report.worker_kills >= 1
+        assert report.worker_restarts >= 1
+        assert report.worker_retries >= 1
+
+    def test_worker_campaign_outcome_is_reproducible(self):
+        """The *verdict* is seed-deterministic even though the race a
+        mid-RPC SIGKILL creates is not: whether the victim committed
+        before dying varies run to run, but rid idempotency forces both
+        runs to the same final state. Timing-raced counters (retries,
+        restarts, duplicate acks) are the only fields allowed to
+        differ."""
+        first = run_fleet_chaos_campaign(WORKER_SMALL).to_dict()
+        second = run_fleet_chaos_campaign(WORKER_SMALL).to_dict()
+        for raced in ("seconds", "worker_retries", "worker_restarts",
+                      "duplicate_acks"):
+            first.pop(raced), second.pop(raced)
+        assert first == second
+
+    def test_worker_report_dict_shape(self, tmp_path):
+        report = run_fleet_chaos_campaign(WORKER_SMALL, state_dir=tmp_path)
+        d = report.to_dict()
+        for key in ("workers", "worker_kills", "worker_retries",
+                    "worker_restarts"):
+            assert key in d
+        assert "worker SIGKILLs" in report.summary()
+
+
 @pytest.mark.chaos
 class TestFullFleetCampaign:
     @pytest.mark.parametrize("seed", [0, 1, 2])
@@ -81,3 +138,17 @@ class TestFullFleetCampaign:
         assert report.ok, report.summary()
         assert report.kills >= 1
         assert report.promotions >= 1
+
+
+@pytest.mark.chaos
+class TestFullWorkerCampaign:
+    @pytest.mark.parametrize("seed", [3, 5])
+    def test_default_size_worker_campaign(self, seed, tmp_path):
+        report = run_fleet_chaos_campaign(
+            FleetChaosConfig(seed=seed, workers=2, worker_kill_rate=0.12),
+            state_dir=tmp_path,
+        )
+        assert report.ok, report.summary()
+        assert report.worker_kills >= 3
+        assert report.worker_restarts >= 1
+        assert report.bit_identical

@@ -15,6 +15,7 @@ import threading
 import pytest
 
 from repro.errors import ReproError
+from repro.fleet.workers import WorkerSupervisor
 from repro.service.loadgen import BrokerClient
 from repro.service.server import BrokerServer
 
@@ -109,3 +110,88 @@ class TestStaleSocket:
         asyncio.run(cycle())
         asyncio.run(cycle())
         assert not sock.exists()
+
+
+def make_supervisor(tmp_path, workers=1):
+    """A one-shard supervisor, assigned but not yet started."""
+    sup = WorkerSupervisor(tmp_path, workers)
+    sup.assign_tenant("t", {
+        "t/shard-0": {
+            "state_dir": str(tmp_path / "t" / "shard-0"),
+            "topology": MESH,
+        },
+    })
+    return sup
+
+
+class TestWorkerSocketLifecycle:
+    """The fleet workers apply the same hygiene rules as the broker —
+    on their per-worker supervisor sockets, across process spawns."""
+
+    def test_stale_socket_is_reclaimed_on_spawn(self, tmp_path):
+        sup = make_supervisor(tmp_path)
+        make_stale_socket(sup.workers[0].socket_path)
+        sup.start()
+        try:
+            assert sup.workers[0].alive
+            assert sup.workers[0].responsive()
+        finally:
+            sup.stop()
+
+    def test_live_socket_is_refused_by_spawn(self, tmp_path):
+        sup = make_supervisor(tmp_path)
+        path = sup.workers[0].socket_path
+        holder = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        holder.bind(str(path))
+        holder.listen(1)
+        try:
+            # The child's bind hygiene trips, the child exits nonzero,
+            # and spawn surfaces its log (which names the live owner).
+            with pytest.raises(ReproError, match="live broker"):
+                sup.start()
+            # ...without having deleted the live socket underneath us.
+            assert path.exists()
+        finally:
+            holder.close()
+            sup.stop()
+
+    def test_non_socket_file_is_never_deleted_by_spawn(self, tmp_path):
+        sup = make_supervisor(tmp_path)
+        path = sup.workers[0].socket_path
+        path.write_text("precious data, definitely not a socket\n")
+        with pytest.raises(ReproError, match="not a socket"):
+            sup.start()
+        sup.stop()
+        assert path.read_text().startswith("precious data")
+
+    def test_clean_stop_unlinks_worker_socket(self, tmp_path):
+        sup = make_supervisor(tmp_path)
+        sup.start()
+        path = sup.workers[0].socket_path
+        assert path.exists()
+        sup.stop()
+        assert not path.exists(), "clean shutdown must remove the socket"
+
+    def test_sigkill_leaves_socket_and_respawn_reclaims(self, tmp_path):
+        """The crash residue the hygiene exists for, end to end: a
+        SIGKILLed worker leaves its socket behind; the supervised
+        respawn reclaims it and serves again on the same path."""
+        sup = make_supervisor(tmp_path)
+        sup.start()
+        try:
+            path = sup.workers[0].socket_path
+            sup.kill_worker(0)
+            assert path.exists(), "SIGKILL should leave the socket file"
+            assert not sup.workers[0].responsive()
+            assert sup.ensure_all() == 1
+            assert sup.workers[0].responsive()
+            assert path.exists()
+        finally:
+            sup.stop()
+
+    def test_restart_cycle_needs_no_manual_cleanup(self, tmp_path):
+        for _ in range(2):
+            sup = make_supervisor(tmp_path)
+            sup.start()
+            sup.stop()
+            assert not sup.workers[0].socket_path.exists()
