@@ -294,6 +294,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "closed loop)")
     p_load.add_argument("--wait", type=float, default=10.0,
                         help="seconds to wait for the broker socket")
+    p_load.add_argument("--trace", default=None, metavar="FILE",
+                        help="replay a recorded JSON-lines op trace "
+                             "instead of seeded churn")
+    p_load.add_argument("--pattern", default=None,
+                        choices=["bursty", "diurnal"],
+                        help="generate a seeded trace (admit bursts / "
+                             "sinusoidal occupancy) and replay it")
+    p_load.add_argument("--link-rate", type=float, default=0.0,
+                        help="per-op probability of a link fail/restore "
+                             "event in a generated trace (--pattern "
+                             "only; default 0)")
+    p_load.add_argument("--save-trace", default=None, metavar="FILE",
+                        help="write the replayed trace to FILE "
+                             "(JSON lines)")
     p_load.add_argument("--assert-stats", action="store_true",
                         help="exit 1 unless server stats are non-empty")
     p_load.add_argument("--shutdown", action="store_true",
@@ -321,6 +335,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--restart-rate", type=float, default=0.06,
                          help="per-op probability of a socket-stage "
                               "server restart")
+    p_chaos.add_argument("--link-rate", type=float, default=0.0,
+                         help="per-slot probability the schedule kills "
+                              "or restores a topology link (default 0)")
     p_chaos.add_argument("--socket-fraction", type=float, default=0.4,
                          help="fraction of ops run over a real unix "
                               "socket (default 0.4)")
@@ -674,7 +691,16 @@ def _run_gateway(args: argparse.Namespace) -> int:
 
 
 def _run_load(args: argparse.Namespace) -> int:
-    from .service.loadgen import BrokerClient, run_load
+    import random
+
+    from .service.loadgen import (
+        BrokerClient,
+        generate_trace,
+        load_trace,
+        run_load,
+        run_trace,
+        save_trace,
+    )
 
     chosen = [o for o in (args.socket, args.host, args.target)
               if o is not None]
@@ -682,6 +708,8 @@ def _run_load(args: argparse.Namespace) -> int:
         raise ReproError(
             "pass exactly one of --socket, --host or --target"
         )
+    if args.trace is not None and args.pattern is not None:
+        raise ReproError("pass at most one of --trace and --pattern")
     if args.target is not None:
         from .fleet import GatewayClient
 
@@ -701,14 +729,41 @@ def _run_load(args: argparse.Namespace) -> int:
     else:
         client = BrokerClient(host=args.host, port=args.port)
     with client:
-        summary = run_load(
-            client,
-            ops=args.ops,
-            seed=args.seed,
-            target_live=args.target_live,
-            batch_size=args.batch_size,
-            pipeline=args.pipeline,
-        )
+        if args.trace is not None or args.pattern is not None:
+            if args.trace is not None:
+                trace = load_trace(args.trace)
+            else:
+                hello = client.check("hello")
+                links: List[tuple] = []
+                if args.link_rate > 0:
+                    from .io import topology_from_spec
+
+                    topo, _ = topology_from_spec(hello["topology"])
+                    links = sorted({
+                        tuple(sorted((u, v)))
+                        for u, v in topo.channels()
+                    })
+                trace = generate_trace(
+                    args.pattern,
+                    random.Random(args.seed),
+                    int(hello["nodes"]),
+                    ops=args.ops,
+                    target_live=args.target_live,
+                    links=links,
+                    link_rate=args.link_rate,
+                )
+            if args.save_trace is not None:
+                save_trace(args.save_trace, trace)
+            summary = run_trace(client, trace)
+        else:
+            summary = run_load(
+                client,
+                ops=args.ops,
+                seed=args.seed,
+                target_live=args.target_live,
+                batch_size=args.batch_size,
+                pipeline=args.pipeline,
+            )
         if args.shutdown:
             client.check("shutdown")
     print(json.dumps(summary.to_dict(), indent=2))
@@ -792,6 +847,7 @@ def _run_chaos(args: argparse.Namespace) -> int:
         engine_rate=args.engine_rate,
         restart_rate=args.restart_rate,
         socket_fraction=args.socket_fraction,
+        link_rate=args.link_rate,
     )
     report = run_chaos_campaign(cfg, state_dir=args.state_dir)
     print(json.dumps(report.to_dict(), indent=2))

@@ -4,7 +4,7 @@ Layout:
 
 :mod:`repro.faults.plane`
     The fault plane: seeded one-shot faults armed at named sites, the
-    three-layer taxonomy (persistence / protocol / engine) and the
+    four-layer taxonomy (persistence / protocol / engine / link) and the
     :class:`InjectedCrash` simulated-process-death signal.
 :mod:`repro.faults.campaign`
     The chaos campaign driver: seeded op schedules, a fault-free oracle
@@ -20,6 +20,7 @@ loaded on first attribute access instead.
 from .plane import (
     ENGINE_FAULTS,
     LAYER_OF,
+    LINK_FAULTS,
     PERSISTENCE_FAULTS,
     PROTOCOL_FAULTS,
     SITE_JOURNAL_APPEND,
@@ -31,6 +32,7 @@ from .plane import (
 __all__ = [
     "ENGINE_FAULTS",
     "LAYER_OF",
+    "LINK_FAULTS",
     "PERSISTENCE_FAULTS",
     "PROTOCOL_FAULTS",
     "SITE_JOURNAL_APPEND",

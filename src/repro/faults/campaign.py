@@ -63,6 +63,7 @@ from .plane import (
 __all__ = [
     "ChaosConfig",
     "ChaosReport",
+    "LinkState",
     "ScheduledOp",
     "build_request",
     "generate_schedule",
@@ -95,6 +96,9 @@ class ChaosConfig:
     engine_rate: float = 0.18
     #: Probability a socket op is preceded by a server restart.
     restart_rate: float = 0.06
+    #: Probability a schedule slot is a link fail/restore event instead
+    #: of admit/release churn (0 reproduces pre-link schedules exactly).
+    link_rate: float = 0.0
     #: Fraction of the schedule executed over the real socket (stage B).
     socket_fraction: float = 0.4
     #: Client retry backoff (kept tiny: the "server" is on localhost).
@@ -107,6 +111,18 @@ class ChaosConfig:
     @property
     def nodes(self) -> int:
         return self.width * self.height
+
+    def link_pool(self) -> List[Tuple[int, int]]:
+        """Every undirected mesh link as a sorted ``(u, v)`` pair."""
+        links = set()
+        for y in range(self.height):
+            for x in range(self.width):
+                u = y * self.width + x
+                if x + 1 < self.width:
+                    links.add((u, u + 1))
+                if y + 1 < self.height:
+                    links.add((u, u + self.width))
+        return sorted(links)
 
 
 @dataclass(frozen=True)
@@ -125,32 +141,84 @@ class ScheduledOp:
     bias: float
     pick: float
     spec: Dict[str, int]
+    #: When true the slot is a link fail/restore event; ``bias`` then
+    #: flips fail-vs-restore and ``pick`` selects the link.
+    link_op: bool = False
+
+
+class LinkState:
+    """Mutable up/down link bookkeeping shared by a run's op builder.
+
+    Both campaign runs (oracle and chaos) hold their own copy, and both
+    resolve the same pre-drawn slot randomness against it, so they issue
+    the same link events in the same order.
+    """
+
+    def __init__(self, pool: List[Tuple[int, int]]):
+        self.up: List[Tuple[int, int]] = sorted(
+            tuple(sorted(l)) for l in pool
+        )
+        self.down: List[Tuple[int, int]] = []
+
+    def apply(self, op: str, link: Tuple[int, int]) -> None:
+        link = tuple(sorted(link))
+        if op == "fail_link":
+            self.up.remove(link)
+            self.down.append(link)
+        else:
+            self.down.remove(link)
+            self.up.append(link)
+            self.up.sort()
 
 
 def generate_schedule(cfg: ChaosConfig) -> List[ScheduledOp]:
-    """Materialise the campaign's op schedule from ``cfg.seed``."""
+    """Materialise the campaign's op schedule from ``cfg.seed``.
+
+    With ``cfg.link_rate == 0`` no extra randomness is consumed, so
+    schedules are bit-identical to pre-link versions of this module.
+    """
     rng = random.Random(cfg.seed)
-    return [
-        ScheduledOp(
+    schedule = []
+    for i in range(cfg.ops):
+        link_op = cfg.link_rate > 0 and rng.random() < cfg.link_rate
+        schedule.append(ScheduledOp(
             index=i,
             rid=f"c{cfg.seed}-{i}",
             bias=rng.random(),
             pick=rng.random(),
             spec=churn_spec(rng, cfg.nodes,
                             priority_levels=cfg.priority_levels),
-        )
-        for i in range(cfg.ops)
-    ]
+            link_op=link_op,
+        ))
+    return schedule
 
 
 def build_request(
-    entry: ScheduledOp, live: List[int], *, target_live: int
+    entry: ScheduledOp,
+    live: List[int],
+    *,
+    target_live: int,
+    links: Optional[LinkState] = None,
 ) -> Dict[str, Any]:
     """The protocol request this slot performs given the live-id list.
 
     Same churn policy as :func:`repro.service.loadgen.run_load`: below
-    ``target_live`` mostly admit, above it mostly release.
+    ``target_live`` mostly admit, above it mostly release. Link slots
+    (``entry.link_op`` with a :class:`LinkState`) fail a live link when
+    few are down and restore one when three are, reusing the slot's
+    pre-drawn ``bias``/``pick`` floats so no RNG runs at execution time.
     """
+    if entry.link_op and links is not None and (links.up or links.down):
+        if not links.down:
+            fail = True
+        elif len(links.down) >= 3 or not links.up:
+            fail = False
+        else:
+            fail = entry.bias < 0.5
+        pool = links.up if fail else links.down
+        link = pool[int(entry.pick * len(pool)) % len(pool)]
+        op = "fail_link" if fail else "restore_link"
+        return {"op": op, "rid": entry.rid, "link": list(link)}
     admit = (len(live) < target_live
              if entry.bias < 0.8 else len(live) >= target_live)
     if admit or not live:
@@ -164,6 +232,7 @@ def _apply_outcome(
     response: Dict[str, Any],
     live: List[int],
     outcomes: List[Dict[str, Any]],
+    links: Optional[LinkState] = None,
 ) -> None:
     """Fold one acknowledged op into the live list and the acked log."""
     if request["op"] == "admit":
@@ -171,11 +240,24 @@ def _apply_outcome(
         ids = [int(i) for i in response.get("ids", [])] if admitted else []
         live.extend(ids)
         outcomes.append({"op": "admit", "admitted": admitted, "ids": ids})
-    else:
+    elif request["op"] == "release":
         ids = [int(i) for i in request["ids"]]
         for sid in ids:
             live.remove(sid)
         outcomes.append({"op": "release", "ids": ids})
+    else:  # fail_link / restore_link
+        link = tuple(int(n) for n in request["link"])
+        gone = sorted(
+            {int(i) for i in response.get("evicted", [])}
+            | {int(i) for i in response.get("disconnected", [])}
+        )
+        for sid in gone:
+            live.remove(sid)
+        if links is not None:
+            links.apply(request["op"], link)
+        outcomes.append({
+            "op": request["op"], "link": list(link), "evicted": gone,
+        })
 
 
 # ---------------------------------------------------------------------- #
@@ -204,12 +286,15 @@ def run_oracle(
     server = BrokerServer(cfg.topology_spec())
     live: List[int] = []
     outcomes: List[Dict[str, Any]] = []
+    links = LinkState(cfg.link_pool()) if cfg.link_rate > 0 else None
     for entry in schedule:
-        request = build_request(entry, live, target_live=cfg.target_live)
+        request = build_request(
+            entry, live, target_live=cfg.target_live, links=links
+        )
         response = server.handle_request(request)
         if not response.get("ok"):  # pragma: no cover - oracle is clean
             raise ReproError(f"oracle op {entry.index} failed: {response}")
-        _apply_outcome(request, response, live, outcomes)
+        _apply_outcome(request, response, live, outcomes, links)
     sha, _ = state_fingerprint(server)
     return sha, outcomes
 
@@ -225,6 +310,7 @@ class _RunState:
 
     live: List[int] = field(default_factory=list)
     outcomes: List[Dict[str, Any]] = field(default_factory=list)
+    links: Optional[LinkState] = None
     restarts: int = 0
     degraded_recoveries: int = 0
     duplicate_acks: int = 0
@@ -260,7 +346,8 @@ def _stage_inproc(
                 ]
                 plane.arm(SITE_JOURNAL_APPEND, FaultSpec(kind))
             request = build_request(
-                entry, run.live, target_live=cfg.target_live
+                entry, run.live, target_live=cfg.target_live,
+                links=run.links,
             )
             for _ in range(_MAX_ATTEMPTS):
                 try:
@@ -298,7 +385,12 @@ def _stage_inproc(
             plane.disarm(SITE_JOURNAL_APPEND)
             if response.get("duplicate"):
                 run.duplicate_acks += 1
-            _apply_outcome(request, response, run.live, run.outcomes)
+            if request["op"] in ("fail_link", "restore_link"):
+                plane.record("link_fail" if request["op"] == "fail_link"
+                             else "link_restore")
+            _apply_outcome(
+                request, response, run.live, run.outcomes, run.links
+            )
     finally:
         if server.state is not None:
             server.state.close()
@@ -513,7 +605,8 @@ def _stage_socket(
                     driver_rng.randrange(len(PROTOCOL_FAULTS))
                 ]
             request = build_request(
-                entry, run.live, target_live=cfg.target_live
+                entry, run.live, target_live=cfg.target_live,
+                links=run.links,
             )
             response = _socket_op(
                 client, request, fault, plane, socket_path, cfg,
@@ -521,7 +614,12 @@ def _stage_socket(
             )
             if response.get("duplicate"):
                 run.duplicate_acks += 1
-            _apply_outcome(request, response, run.live, run.outcomes)
+            if request["op"] in ("fail_link", "restore_link"):
+                plane.record("link_fail" if request["op"] == "fail_link"
+                             else "link_restore")
+            _apply_outcome(
+                request, response, run.live, run.outcomes, run.links
+            )
     finally:
         client.close()
         thread.stop()
@@ -617,7 +715,9 @@ def run_chaos_campaign(
     # ``plane.rng``) can shift which op gets which fault.
     driver_rng = random.Random(cfg.seed + 2)
     backoff_rng = random.Random(cfg.seed + 3)  # wall-clock jitter only
-    run = _RunState()
+    run = _RunState(
+        links=LinkState(cfg.link_pool()) if cfg.link_rate > 0 else None
+    )
     split = cfg.ops - int(cfg.ops * cfg.socket_fraction)
 
     tmp: Optional[tempfile.TemporaryDirectory] = None
@@ -651,6 +751,8 @@ def run_chaos_campaign(
             expected_live.update(outcome["ids"])
         elif outcome["op"] == "release":
             expected_live.difference_update(outcome["ids"])
+        elif outcome["op"] in ("fail_link", "restore_link"):
+            expected_live.difference_update(outcome["evicted"])
     recovered_ids = {int(sid) for sid in recovered_spec["streams"]}
     mismatches = sum(
         1 for got, want in zip(run.outcomes, oracle_outcomes)

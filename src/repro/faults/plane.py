@@ -8,7 +8,7 @@ randomness (which op gets a fault, torn-write cut points) comes from a
 single seeded :class:`random.Random`, so a campaign is reproducible from
 its printed seed.
 
-Three layers of faults are modelled:
+Four layers of faults are modelled:
 
 persistence (fired inside :meth:`repro.service.persistence.BrokerState.append`)
     ``torn_write``
@@ -48,6 +48,15 @@ engine (executed by the campaign driver between ops)
         :meth:`IncrementalAdmissionEngine.invalidate_caches` — every
         derived cache is dropped and rebuilt; verdicts must stay
         bit-identical.
+
+link (executed by the campaign driver as schedule slots)
+    ``link_fail``
+        A topology link is killed mid-campaign (``fail_link``): affected
+        streams are rerouted or evicted, and the failed-link set must
+        survive crashes and recovery.
+    ``link_restore``
+        A previously killed link comes back (``restore_link``); the
+        surviving streams are re-analysed under the healed topology.
 """
 
 from __future__ import annotations
@@ -62,6 +71,7 @@ __all__ = [
     "FaultSpec",
     "InjectedCrash",
     "LAYER_OF",
+    "LINK_FAULTS",
     "PERSISTENCE_FAULTS",
     "PROTOCOL_FAULTS",
     "SITE_JOURNAL_APPEND",
@@ -81,12 +91,14 @@ PROTOCOL_FAULTS = (
     "slow_client",
 )
 ENGINE_FAULTS = ("cache_storm",)
+LINK_FAULTS = ("link_fail", "link_restore")
 
 #: Fault kind -> layer name.
 LAYER_OF: Dict[str, str] = {
     **{k: "persistence" for k in PERSISTENCE_FAULTS},
     **{k: "protocol" for k in PROTOCOL_FAULTS},
     **{k: "engine" for k in ENGINE_FAULTS},
+    **{k: "link" for k in LINK_FAULTS},
 }
 
 #: The one server-side injection site (consulted by ``BrokerState.append``).
@@ -178,14 +190,14 @@ class FaultPlane:
     def counts_by_layer(self) -> Dict[str, Dict[str, int]]:
         """``{layer: {kind: count}}`` over everything that fired."""
         out: Dict[str, Dict[str, int]] = {
-            "persistence": {}, "protocol": {}, "engine": {},
+            "persistence": {}, "protocol": {}, "engine": {}, "link": {},
         }
         for kind, n in sorted(self.fired.items()):
             out[LAYER_OF[kind]][kind] = n
         return out
 
     def layers_covered(self) -> int:
-        """How many of the three layers fired at least one fault."""
+        """How many of the four layers fired at least one fault."""
         return sum(1 for kinds in self.counts_by_layer().values() if kinds)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

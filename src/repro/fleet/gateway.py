@@ -64,7 +64,7 @@ __all__ = ["GatewayServer"]
 logger = logging.getLogger(__name__)
 
 _OPS = ("hello", "ping", "admit", "release", "query", "report",
-        "snapshot", "stats")
+        "snapshot", "stats", "fail_link", "restore_link", "links")
 _MAX_BODY = 8 * 1024 * 1024
 
 

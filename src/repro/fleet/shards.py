@@ -58,7 +58,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from .. import __version__
 from ..core import backends as _backends
-from ..errors import AnalysisError, ReproError, StreamError
+from ..errors import AnalysisError, ReproError, RoutingError, StreamError
 from ..faults.plane import FaultPlane
 from ..io import stream_from_spec, stream_to_spec, topology_from_spec
 from ..obs.trace import span as _span
@@ -71,7 +71,9 @@ from ..service.protocol import (
     coerce_rid,
     error_response,
 )
+from ..topology.degraded import normalize_link
 from ..topology.route_table import shared_route_table
+from ..topology.routing import FaultAwareRouting
 from .regions import Channel, ChannelIndex, entry_channels
 
 __all__ = ["TenantFleet", "Fleet", "TenantSpec"]
@@ -137,6 +139,12 @@ class TenantFleet:
         self.name = name
         self.topology_spec = dict(topology_spec)
         self.topology, self.routing = topology_from_spec(self.topology_spec)
+        #: The intact network's routing; ``self.routing`` tracks the
+        #: tenant's *effective* routing (fault-aware once links failed).
+        self.base_routing = self.routing
+        #: Failed physical links, as normalised ``(u, v)`` tuples. Kept
+        #: in lockstep with every shard (link ops broadcast).
+        self.failed_links: Set[Tuple[int, int]] = set()
         self._route_table = shared_route_table(self.routing)
         self.state_dir = Path(state_dir) if state_dir is not None else None
         self.fault_plane = fault_plane
@@ -196,7 +204,34 @@ class TenantFleet:
         * **components spanning shards** (partial multi-source
           migration): re-merged via the same migration path a live
           escalation uses.
+
+        A third artefact comes from the link-fault plane: a crash in the
+        middle of a ``fail_link`` broadcast leaves shards disagreeing on
+        the failed-link set. The union is authoritative — every member
+        was journaled by at least one shard, so the op was in flight —
+        and lagging shards are brought forward by re-forwarding the op,
+        which re-derives the same deterministic evictions.
         """
+        shard_links: List[Set[Tuple[int, int]]] = []
+        for host in self.hosts:
+            links = self._forward(host, {"op": "links"})
+            shard_links.append({
+                normalize_link(int(u), int(v))
+                for u, v in links["failed_links"]
+            })
+        union: Set[Tuple[int, int]] = set().union(*shard_links)
+        for i, have in enumerate(shard_links):
+            for link in sorted(union - have):
+                logger.warning(
+                    "tenant %s: shard %d missed fail_link %s (link-op "
+                    "crash window); re-applying", self.name, i, list(link),
+                )
+                self._forward(
+                    self.hosts[i],
+                    {"op": "fail_link", "link": [link[0], link[1]]},
+                )
+        if union:
+            self._set_failed_links(union)
         seen: Dict[int, int] = {}
         specs: Dict[int, Dict[str, Any]] = {}
         dumps: List[Dict[str, Any]] = []
@@ -239,6 +274,8 @@ class TenantFleet:
         # Idempotency: an admit's rid lives on one shard; a cross-shard
         # release's rid lives on several, each holding its subset — merge
         # the released lists (sorted; the request order is not recorded).
+        # A broadcast link op's rid lives on *every* shard, each holding
+        # its local reroute/evict delta — merge those too.
         for dump in dumps:
             for rid, outcome in dump["applied"].items():
                 prior = self._applied.get(rid)
@@ -248,6 +285,13 @@ class TenantFleet:
                         set(prior["released"]) | set(outcome["released"])
                     )
                     self._applied[rid] = {"released": merged}
+                elif (prior
+                        and prior.get("op") in ("fail_link", "restore_link")
+                        and outcome.get("op") == prior.get("op")
+                        and outcome.get("link") == prior.get("link")):
+                    self._applied[rid] = self._merge_link_outcomes(
+                        [prior, outcome]
+                    )
                 else:
                     self._applied[rid] = dict(outcome)
 
@@ -496,6 +540,15 @@ class TenantFleet:
             return self._op_release(request)
         if op == "query":
             return self._op_query(request)
+        if op == "fail_link":
+            return self._op_link(request, fail=True)
+        if op == "restore_link":
+            return self._op_link(request, fail=False)
+        if op == "links":
+            return {
+                "failed_links": self.links_spec(),
+                "routing": type(self.routing).__name__,
+            }
         if op == "report":
             self._gate_dead()
             return self._merged_report()
@@ -762,6 +815,213 @@ class TenantFleet:
             if k != "ok"
         }
 
+    # ------------------------------------------------------------------ #
+    # Link faults (broadcast reroute-and-readmit)
+    # ------------------------------------------------------------------ #
+
+    def links_spec(self) -> List[List[int]]:
+        """The failed-link set as sorted ``[u, v]`` pairs (wire form)."""
+        return sorted([u, v] for u, v in self.failed_links)
+
+    def _set_failed_links(self, failed) -> None:
+        """Point the placement layer at the routing for ``failed``."""
+        self.failed_links = set(failed)
+        if self.failed_links:
+            self.routing = FaultAwareRouting(
+                self.base_routing, sorted(self.failed_links)
+            )
+        else:
+            self.routing = self.base_routing
+        self._route_table = shared_route_table(self.routing)
+
+    @staticmethod
+    def _merge_link_outcomes(
+        outcomes: List[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """Union the per-shard deltas of one broadcast link op."""
+        merged: Dict[str, Any] = {
+            "op": outcomes[0]["op"],
+            "link": list(outcomes[0]["link"]),
+        }
+        for key in ("rerouted", "evicted", "disconnected", "survivors"):
+            merged[key] = sorted(
+                {int(sid) for out in outcomes for sid in out.get(key, [])}
+            )
+        return merged
+
+    def _op_link(
+        self, request: Dict[str, Any], *, fail: bool
+    ) -> Dict[str, Any]:
+        """Fail or restore a physical link, tenant-wide.
+
+        Placement first, verdicts second: under the post-swap routing,
+        previously independent components can become channel-connected
+        (detours overlap), so any component that *would* span shards is
+        migrated onto one shard **before** the op is forwarded. The
+        migration runs under the old routing, where streams on different
+        shards are channel-disjoint, so it cannot change any verdict.
+        The op is then broadcast to every shard — each swaps to the same
+        fault-aware routing and re-derives its local reroute/evict delta
+        — and the merged delta is the client's answer, bit-identical to
+        a single engine applying the same swap.
+        """
+        op = "fail_link" if fail else "restore_link"
+        rid = coerce_rid(request)
+        duplicate = self._duplicate_response(rid)
+        if duplicate is not None:
+            return duplicate
+        raw = request.get("link")
+        if not isinstance(raw, (list, tuple)) or len(raw) != 2:
+            raise ProtocolError(f"'{op}' needs a 'link' [u, v] pair")
+        link = normalize_link(
+            coerce_int(raw[0], "'link' endpoint"),
+            coerce_int(raw[1], "'link' endpoint"),
+        )
+        if fail:
+            if not self.topology.has_channel(link[0], link[1]):
+                raise ProtocolError(
+                    f"no physical link {list(link)} in the topology"
+                )
+            if link in self.failed_links:
+                raise ProtocolError(f"link {list(link)} is already failed")
+            new_failed = self.failed_links | {link}
+        else:
+            if link not in self.failed_links:
+                raise ProtocolError(f"link {list(link)} is not failed")
+            new_failed = self.failed_links - {link}
+        self._gate_shards(set(range(len(self.hosts))))
+        if new_failed:
+            new_routing = FaultAwareRouting(
+                self.base_routing, sorted(new_failed)
+            )
+        else:
+            new_routing = self.base_routing
+        new_table = shared_route_table(new_routing)
+        # Prospective placement over the post-swap channel sets.
+        specs: Dict[int, Dict[str, Any]] = {}
+        for host in self.hosts:
+            for entry in host.shard_dump()["streams"]:
+                specs[int(entry["stream"]["id"])] = entry["stream"]
+        prospective = ChannelIndex()
+        for sid in sorted(self.owner):
+            spec = specs.get(sid)
+            if spec is None:  # pragma: no cover - defensive
+                raise ReproError(
+                    f"placement out of sync: stream {sid} is not on "
+                    f"its shard"
+                )
+            try:
+                channels = entry_channels(
+                    new_table, self.topology,
+                    int(spec["src"]), int(spec["dst"]),
+                )
+            except RoutingError:
+                # Disconnected under the new routing: the shard will
+                # evict it, so it interacts with nothing.
+                channels = frozenset()
+            prospective.add(sid, channels)
+        for comp in prospective.components():
+            shards_touched = sorted({self.owner[sid] for sid in comp})
+            if len(shards_touched) > 1:
+                self._migrate(comp, self._escalation_target(comp))
+        # Compensation capture *after* migration, so each shard's saved
+        # specs reflect what it actually holds when the broadcast runs.
+        saved: Dict[int, Dict[str, List[dict]]] = {}
+        for i, host in enumerate(self.hosts):
+            groups: Dict[str, List[dict]] = {}
+            for entry in host.shard_dump()["streams"]:
+                groups.setdefault(
+                    entry["analysis"], []
+                ).append(entry["stream"])
+            saved[i] = groups
+        sub: Dict[str, Any] = {"op": op, "link": [link[0], link[1]]}
+        if rid is not None:
+            sub["rid"] = rid
+        deltas: List[Dict[str, Any]] = []
+        try:
+            for host in self.hosts:
+                deltas.append(self._forward(host, sub))
+        except ReproError:
+            self._compensate_link(op, link, saved, rid)
+            raise
+        self._set_failed_links(new_failed)
+        outcome = self._merge_link_outcomes(deltas)
+        gone = set(outcome["evicted"]) | set(outcome["disconnected"])
+        for sid in sorted(gone):
+            if sid in self.owner:
+                del self.owner[sid]
+        # Every survivor's channel set may have changed: rebuild the
+        # placement index wholesale under the new shared route table.
+        self.index = ChannelIndex()
+        for sid in sorted(self.owner):
+            self.index.add(sid, self._spec_channels(specs[sid]))
+        self._record_applied(rid, outcome)
+        response = dict(outcome)
+        response["failed_links"] = self.links_spec()
+        response["admitted"] = len(self.owner)
+        return response
+
+    def _compensate_link(
+        self,
+        op: str,
+        link: Tuple[int, int],
+        saved: Dict[int, Dict[str, List[dict]]],
+        rid: Optional[str],
+    ) -> None:
+        """Undo a partially broadcast link op so the client's error means
+        "no shard changed".
+
+        Shards are *probed* rather than trusted from the forward loop's
+        bookkeeping — a worker can journal the op and die before acking
+        — and every shard that durably applied it gets the inverse op
+        plus re-admission of whatever streams the swap evicted (captured
+        pre-broadcast; subsets of the feasible pre-op set). The rid is
+        dropped everywhere so a client retry re-applies cleanly.
+        """
+        inverse = "restore_link" if op == "fail_link" else "fail_link"
+        for shard, host in enumerate(self.hosts):
+            links = self._probe_stable(
+                lambda h=host: self._forward(h, {"op": "links"})
+            )
+            have = {
+                normalize_link(int(u), int(v))
+                for u, v in links["failed_links"]
+            }
+            applied = (link in have) if op == "fail_link" else (
+                link not in have
+            )
+            if not applied:
+                continue
+            self._probe_stable(lambda h=host: self._forward(
+                h, {"op": inverse, "link": [link[0], link[1]]}
+            ))
+            all_ids = [
+                int(s["id"])
+                for group in saved[shard].values() for s in group
+            ]
+            held = set(self._probe_stable(
+                lambda h=host: self._held_ids(h, all_ids)
+            ))
+            for name in sorted(saved[shard]):
+                missing = [
+                    s for s in saved[shard][name]
+                    if int(s["id"]) not in held
+                ]
+                if not missing:
+                    continue
+                response = self._forward(
+                    host,
+                    {"op": "admit", "streams": missing, "analysis": name},
+                )
+                if not response["admitted"]:  # pragma: no cover
+                    raise ReproError(
+                        f"link-op rollback re-admission of "
+                        f"{[e['id'] for e in missing]} rejected on shard "
+                        f"{shard}; state diverged from the journal"
+                    )
+            if rid is not None:
+                host.drop_rid(rid)
+
     def _merged_report(self) -> Dict[str, Any]:
         """The tenant-wide feasibility report, merged across shards.
 
@@ -828,6 +1088,7 @@ class TenantFleet:
             "next_id": self._next_id,
             "report": report["report"],
             "admitted": report["admitted"],
+            "failed_links": self.links_spec(),
         }
         blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest(), spec

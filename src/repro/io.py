@@ -22,6 +22,7 @@ workloads under version control next to their measured results.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
@@ -36,6 +37,7 @@ from .topology import (
     Topology,
     Torus,
     TorusDimensionOrderRouting,
+    UpDownRouting,
     XYRouting,
 )
 
@@ -53,22 +55,46 @@ __all__ = [
 def topology_from_spec(
     spec: Dict[str, Any]
 ) -> Tuple[Topology, RoutingAlgorithm]:
-    """Build a topology and its canonical routing from a JSON spec."""
+    """Build a topology and its routing function from a JSON spec.
+
+    The routing defaults to the topology's canonical algorithm (X-Y on
+    meshes, dateline dimension-order on tori, e-cube on hypercubes). A
+    ``"routing"`` key in the spec — or, when the spec names none, the
+    ``REPRO_ROUTING`` environment variable — overrides it:
+    ``"default"`` keeps the canonical algorithm, ``"updown"`` selects
+    BFS-rooted up*/down* routing (deadlock-free on every topology,
+    including irregular ones, at the cost of longer routes). Specs that
+    pin ``"routing"`` explicitly are immune to the environment override,
+    which is how tests asserting exact canonical-routing bounds stay
+    stable under a suite-wide ``REPRO_ROUTING=updown`` run.
+    """
     kind = spec.get("type", "mesh")
     if kind == "mesh":
-        mesh = Mesh2D(int(spec.get("width", 10)),
-                      int(spec.get("height", spec.get("width", 10))))
-        return mesh, XYRouting(mesh)
-    if kind == "torus":
+        topology: Topology = Mesh2D(
+            int(spec.get("width", 10)),
+            int(spec.get("height", spec.get("width", 10))))
+        routing: RoutingAlgorithm = XYRouting(topology)
+    elif kind == "torus":
         dims = spec.get("dims")
         if not dims:
             raise ReproError("torus spec needs 'dims'")
-        torus = Torus(tuple(int(d) for d in dims))
-        return torus, TorusDimensionOrderRouting(torus)
-    if kind == "hypercube":
-        cube = Hypercube(int(spec.get("dimension", 4)))
-        return cube, ECubeRouting(cube)
-    raise ReproError(f"unknown topology type {kind!r}")
+        topology = Torus(tuple(int(d) for d in dims))
+        routing = TorusDimensionOrderRouting(topology)
+    elif kind == "hypercube":
+        topology = Hypercube(int(spec.get("dimension", 4)))
+        routing = ECubeRouting(topology)
+    else:
+        raise ReproError(f"unknown topology type {kind!r}")
+    choice = spec.get("routing")
+    if choice is None:
+        choice = os.environ.get("REPRO_ROUTING") or "default"
+    if choice == "updown":
+        routing = UpDownRouting(topology)
+    elif choice != "default":
+        raise ReproError(
+            f"unknown routing {choice!r} (known: default, updown)"
+        )
+    return topology, routing
 
 
 def _node(topology: Topology, ref: Union[int, list]) -> int:

@@ -95,12 +95,12 @@ from ..core.feasibility import (
 from ..core.hpset import HPSet, build_hp_set, hp_set_from_reach
 from ..core.latency import LatencyModel, NoLoadLatency
 from ..core.streams import MessageStream, StreamSet
-from ..errors import AnalysisError, StreamError
+from ..errors import AnalysisError, RoutingError, StreamError
 from ..topology.base import Channel
 from ..topology.route_table import shared_route_table
 from ..topology.routing import RoutingAlgorithm
 
-__all__ = ["EngineStats", "IncrementalAdmissionEngine"]
+__all__ = ["EngineStats", "IncrementalAdmissionEngine", "RoutingDelta"]
 
 #: Verdict-memo capacity (entries). FIFO eviction: the memo exists for
 #: churn (release/re-admit of recurring configurations), where recency is
@@ -151,6 +151,10 @@ class EngineStats:
     hp_delta_updates: int = 0
     full_fallbacks: int = 0
     forced_invalidations: int = 0
+    #: Routing swaps applied (link failures/restores) and the streams
+    #: they evicted (disconnected + deadline-missers after reroute).
+    reroutes: int = 0
+    reroute_evictions: int = 0
     route_cache_hits: int = 0
     route_cache_misses: int = 0
     #: Dirty-frontier sizes of incremental ops (last / running max / sum).
@@ -184,6 +188,7 @@ class EngineStats:
             "verdicts_recomputed", "verdicts_reused", "verdict_memo_hits",
             "hp_rebuilt", "hp_delta_updates",
             "full_fallbacks", "forced_invalidations",
+            "reroutes", "reroute_evictions",
             "route_cache_hits", "route_cache_misses",
             "dirty_last", "dirty_max", "dirty_total",
         )}
@@ -194,6 +199,36 @@ class EngineStats:
             out[k] = round(getattr(self, k), 6)
         out["cache_hit_rate"] = round(self.cache_hit_rate(), 4)
         return out
+
+
+@dataclass(frozen=True)
+class RoutingDelta:
+    """What a routing swap (:meth:`~IncrementalAdmissionEngine.
+    apply_routing`) did to the admitted set.
+
+    ``evicted_streams`` carries the raw stream objects and their bound
+    backends in eviction order, so a caller that must undo the swap (the
+    broker's journal-failure rollback) can re-admit them exactly.
+    """
+
+    #: Surviving ids whose channel set changed under the new routing.
+    rerouted: Tuple[int, ...]
+    #: Ids dropped, in eviction order (disconnected first).
+    evicted: Tuple[int, ...]
+    #: Subset of ``evicted`` the new routing could not route at all.
+    disconnected: Tuple[int, ...]
+    #: Admitted ids after the swap, ascending.
+    survivors: Tuple[int, ...]
+    #: ``(raw stream, backend name)`` per evicted id, eviction order.
+    evicted_streams: Tuple[Tuple[MessageStream, str], ...]
+
+    def to_spec(self) -> Dict:
+        return {
+            "rerouted": list(self.rerouted),
+            "evicted": list(self.evicted),
+            "disconnected": list(self.disconnected),
+            "survivors": list(self.survivors),
+        }
 
 
 class IncrementalAdmissionEngine:
@@ -464,6 +499,114 @@ class IncrementalAdmissionEngine:
             self._recompute_reach(dirty)
             self.stats.hp_seconds += time.perf_counter() - t0
         self._refresh(dirty)
+
+    def apply_routing(self, new_routing: RoutingAlgorithm) -> RoutingDelta:
+        """Swap the routing function and re-admit the affected closure.
+
+        The reroute-and-readmit protocol: routes are recomputed under
+        ``new_routing``, streams whose channel sets are unchanged keep
+        every cached structure and verdict untouched, and exactly the
+        reverse-reachable closure of the changed streams is re-analysed.
+        Streams the new routing cannot route at all (pairs disconnected
+        by link failures) are evicted first; then, while the report is
+        infeasible, deadline-missing streams are evicted — rerouted
+        streams before previously-stable ones, ascending id within each
+        round — until the surviving set is feasible again. The final
+        state is bit-identical to a from-scratch analysis of the
+        surviving set under ``new_routing``, because every verdict is a
+        pure function of the resolved streams and their HP closures.
+
+        Unlike :meth:`try_admit` this is not all-or-nothing — a routing
+        swap models a physical event the engine cannot refuse. Callers
+        needing rollback re-apply the old routing and re-admit
+        ``evicted_streams`` (order-insensitive: subsets of a feasible
+        set are feasible).
+        """
+        self.stats.ops += 1
+        self.stats.reroutes += 1
+        new_table = shared_route_table(new_routing)
+        changed: List[int] = []
+        disconnected: List[int] = []
+        for sid in sorted(self._admitted.ids()):
+            stream = self._admitted[sid]
+            try:
+                chans = new_table.channels(stream.src, stream.dst)
+            except RoutingError:
+                disconnected.append(sid)
+                continue
+            if chans != self._channels.get(sid):
+                changed.append(sid)
+        rerouted = tuple(changed)
+        evicted_streams: List[Tuple[MessageStream, str]] = [
+            (self._admitted[sid], self._analysis[sid])
+            for sid in disconnected
+        ]
+        evicted: List[int] = list(disconnected)
+
+        if not self.incremental:
+            for sid in disconnected:
+                self._admitted.remove(sid)
+                self._analysis.pop(sid, None)
+            self.routing = new_routing
+            self._route_table = new_table
+            self._full_rebuild()
+        else:
+            # Capture before detach (detach pops the analysis name too).
+            moved = [
+                (self._admitted[sid], self._analysis[sid])
+                for sid in changed
+            ]
+            dirty = self._reverse_reachable(changed + disconnected)
+            for sid in changed + disconnected:
+                self._detach(sid)
+            self.routing = new_routing
+            self._route_table = new_table
+            for stream, name in moved:
+                self._analysis[stream.stream_id] = name
+                dirty |= self._attach(stream)
+                dirty.add(stream.stream_id)
+            dirty &= set(self._admitted.ids())
+            self.stats.note_dirty(len(dirty))
+            if dirty and len(dirty) >= len(self._admitted):
+                self._full_rebuild()
+                self.stats.full_fallbacks += 1
+            else:
+                if self.incremental_hp:
+                    t0 = time.perf_counter()
+                    self._recompute_reach(dirty)
+                    self.stats.hp_seconds += time.perf_counter() - t0
+                self._refresh(dirty)
+
+        # Eviction fixpoint: drop deadline-missers until feasible again.
+        rerouted_left = set(rerouted)
+        while len(self._admitted):
+            report = self.current_report()
+            if report.success:
+                break
+            infeasible = set(report.infeasible_ids())
+            if not infeasible:  # pragma: no cover - defensive
+                raise AnalysisError(
+                    "infeasible report with no infeasible streams"
+                )
+            victims = sorted(infeasible & rerouted_left) \
+                or sorted(infeasible)
+            evicted_streams.extend(
+                (self._admitted[sid], self._analysis[sid])
+                for sid in victims
+            )
+            evicted.extend(victims)
+            rerouted_left -= set(victims)
+            self.release(victims)
+        self.stats.reroute_evictions += len(evicted)
+        return RoutingDelta(
+            rerouted=tuple(
+                sid for sid in rerouted if sid in self._admitted
+            ),
+            evicted=tuple(evicted),
+            disconnected=tuple(disconnected),
+            survivors=tuple(sorted(self._admitted.ids())),
+            evicted_streams=tuple(evicted_streams),
+        )
 
     # ------------------------------------------------------------------ #
     # Admission paths

@@ -45,7 +45,8 @@ from ..io import (
     topology_from_spec,
 )
 from ..obs.trace import span as _span
-from .engine import IncrementalAdmissionEngine
+from ..topology import FaultAwareRouting, normalize_link
+from .engine import IncrementalAdmissionEngine, RoutingDelta
 from .metrics import ServiceMetrics
 from .persistence import RID_CAP, BrokerState
 from .protocol import (
@@ -116,6 +117,11 @@ class EngineHost:
     ):
         self.topology_spec = dict(topology_spec)
         self.topology, self.routing = topology_from_spec(self.topology_spec)
+        #: The intact network's routing; ``self.routing`` tracks the
+        #: engine's *effective* routing (fault-aware once links failed).
+        self.base_routing = self.routing
+        #: Failed physical links, as normalised ``(u, v)`` tuples.
+        self.failed_links: set = set()
         self.engine = IncrementalAdmissionEngine(
             self.routing,
             use_modify=use_modify,
@@ -153,6 +159,14 @@ class EngineHost:
         # retrying an op whose ack died with the old process still gets
         # the committed outcome instead of a double-apply.
         self._applied.update(rec.applied_rids)
+        if rec.failed_links:
+            # Degrade the routing *before* the streams replay: the
+            # snapshot's admitted set was vetted on the degraded network,
+            # so it must re-admit on the same one — and with the engine
+            # still empty, the swap reroutes nothing.
+            self._swap_routing(
+                {normalize_link(u, v) for u, v in rec.failed_links}
+            )
         if rec.snapshot:
             self.load_snapshot(rec.snapshot)
         for op in rec.ops:
@@ -194,6 +208,16 @@ class EngineHost:
             ids = [int(i) for i in op["ids"]]
             self.engine.release(ids)
             self._record_applied(rid, {"released": ids})
+        elif op.get("op") in ("fail_link", "restore_link"):
+            # Reroute-and-readmit is deterministic, so replay re-derives
+            # the same evictions the primary computed and acknowledged.
+            link = normalize_link(*op["link"])
+            if op["op"] == "fail_link":
+                delta = self._swap_routing(self.failed_links | {link})
+            else:
+                delta = self._swap_routing(self.failed_links - {link})
+            self._record_applied(rid, self._link_outcome(op["op"], link,
+                                                         delta))
         else:  # pragma: no cover - defensive
             raise ReproError(f"unknown journal op {op.get('op')!r}")
 
@@ -205,6 +229,7 @@ class EngineHost:
             next_id=self.engine.next_id,
             applied_rids=self._applied,
             analyses=self._admitted_analyses(),
+            failed_links=self.links_spec(),
         )
 
     def fingerprint(self) -> Tuple[str, Dict[str, Any]]:
@@ -230,11 +255,15 @@ class EngineHost:
                 "slack": query["slack"],
                 "closure": query["closure"],
             }
+        links = self.handle_request({"op": "links"})
+        if not links.get("ok"):  # pragma: no cover - links cannot fail
+            raise ReproError(f"links failed while fingerprinting: {links}")
         spec = {
             "streams": streams,
             "next_id": self.engine.next_id,
             "report": report["report"],
             "admitted": report["admitted"],
+            "failed_links": links["failed_links"],
         }
         blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest(), spec
@@ -415,6 +444,15 @@ class EngineHost:
             return self._op_release(request)
         if op == "query":
             return self._op_query(request)
+        if op == "fail_link":
+            return self._op_link(request, fail=True)
+        if op == "restore_link":
+            return self._op_link(request, fail=False)
+        if op == "links":
+            return {
+                "failed_links": self.links_spec(),
+                "routing": type(self.engine.routing).__name__,
+            }
         if op == "report":
             return {
                 "report": report_to_spec(self.engine.current_report()),
@@ -644,6 +682,100 @@ class EngineHost:
                 raise ReproError(
                     "rollback re-admission rejected; broker state is "
                     "inconsistent with the journal"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Link faults (reroute-and-readmit)
+    # ------------------------------------------------------------------ #
+
+    def links_spec(self) -> List[List[int]]:
+        """The failed-link set as sorted ``[u, v]`` pairs (wire form)."""
+        return sorted([u, v] for u, v in self.failed_links)
+
+    def _swap_routing(self, new_failed: set) -> RoutingDelta:
+        """Point the engine at the routing for ``new_failed`` links."""
+        if new_failed:
+            routing = FaultAwareRouting(
+                self.base_routing, sorted(new_failed)
+            )
+        else:
+            routing = self.base_routing
+        delta = self.engine.apply_routing(routing)
+        self.failed_links = set(new_failed)
+        self.routing = self.engine.routing
+        return delta
+
+    @staticmethod
+    def _link_outcome(
+        op: str, link, delta: RoutingDelta
+    ) -> Dict[str, Any]:
+        return {
+            "op": op,
+            "link": [link[0], link[1]],
+            **delta.to_spec(),
+        }
+
+    def _op_link(
+        self, request: Dict[str, Any], *, fail: bool
+    ) -> Dict[str, Any]:
+        op = "fail_link" if fail else "restore_link"
+        rid = coerce_rid(request)
+        duplicate = self._duplicate_response(rid)
+        if duplicate is not None:
+            return duplicate
+        self._mutation_gate()
+        raw = request.get("link")
+        if not isinstance(raw, (list, tuple)) or len(raw) != 2:
+            raise ProtocolError(f"'{op}' needs a 'link' [u, v] pair")
+        link = normalize_link(
+            coerce_int(raw[0], "'link' endpoint"),
+            coerce_int(raw[1], "'link' endpoint"),
+        )
+        if fail:
+            if not self.topology.has_channel(link[0], link[1]):
+                raise ProtocolError(
+                    f"no physical link {list(link)} in the topology"
+                )
+            if link in self.failed_links:
+                raise ProtocolError(
+                    f"link {list(link)} is already failed"
+                )
+            new_failed = self.failed_links | {link}
+        else:
+            if link not in self.failed_links:
+                raise ProtocolError(f"link {list(link)} is not failed")
+            new_failed = self.failed_links - {link}
+        old_failed = set(self.failed_links)
+        delta = self._swap_routing(new_failed)
+        if self.state is not None:
+            entry: Dict[str, Any] = {"op": op, "link": [link[0], link[1]]}
+            if rid is not None:
+                entry["rid"] = rid
+            self._journal_commit(
+                entry, lambda: self._rollback_link(old_failed, delta)
+            )
+        outcome = self._link_outcome(op, link, delta)
+        self._record_applied(rid, outcome)
+        response = dict(outcome)
+        response["failed_links"] = self.links_spec()
+        response["admitted"] = len(self.engine.admitted)
+        return response
+
+    def _rollback_link(self, old_failed: set, delta: RoutingDelta) -> None:
+        """Undo a link op whose journal append failed: re-apply the old
+        routing and re-admit the evicted streams (grouped per backend).
+        Both steps must succeed — the pre-op set was feasible under the
+        old routing, and subsets of a feasible set are feasible."""
+        self._swap_routing(old_failed)
+        groups: Dict[str, List[MessageStream]] = {}
+        for stream, name in delta.evicted_streams:
+            groups.setdefault(name, []).append(stream)
+        for name in sorted(groups):
+            decision = self.engine.try_admit(groups[name], analysis=name)
+            if not decision.admitted:  # pragma: no cover - defensive
+                raise ReproError(
+                    "link-op rollback re-admission rejected; broker "
+                    "state is inconsistent with the journal"
                 )
 
     def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:

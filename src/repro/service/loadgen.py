@@ -12,18 +12,32 @@ the server's own stats.
 from __future__ import annotations
 
 import json
+import math
 import random
 import socket
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Deque, Dict, List, Optional, Tuple, Union
+from typing import (
+    Any, Deque, Dict, List, Optional, Sequence, Tuple, Union,
+)
 
 from ..errors import ReproError
 from .protocol import retry_backoff
 
-__all__ = ["BrokerClient", "LoadSummary", "churn_spec", "run_load"]
+__all__ = [
+    "BrokerClient",
+    "LoadSummary",
+    "churn_spec",
+    "generate_trace",
+    "load_trace",
+    "run_load",
+    "run_trace",
+    "save_trace",
+]
+
+TRACE_PATTERNS = ("bursty", "diurnal")
 
 
 class BrokerClient:
@@ -274,6 +288,7 @@ class LoadSummary:
     admits_tried: int = 0
     admits_accepted: int = 0
     releases: int = 0
+    link_ops: int = 0
     errors: int = 0
     seconds: float = 0.0
     live_at_end: int = 0
@@ -292,6 +307,7 @@ class LoadSummary:
                 self.admits_accepted / self.admits_tried, 4
             ) if self.admits_tried else None,
             "releases": self.releases,
+            "link_ops": self.link_ops,
             "errors": self.errors,
             "seconds": round(self.seconds, 3),
             "ops_per_second": round(self.ops_per_second(), 1),
@@ -378,6 +394,225 @@ def run_load(
     settle(0)
     summary.seconds = time.perf_counter() - t0
     summary.live_at_end = len(live)
+    stats = client.request("stats")
+    if stats.get("ok"):
+        summary.server_stats = {
+            "admitted": stats.get("admitted"),
+            "engine": stats.get("engine"),
+            "batching": stats.get("service", {}).get("batching"),
+        }
+    return summary
+
+
+# ---------------------------------------------------------------------- #
+# Trace-driven workload
+# ---------------------------------------------------------------------- #
+#
+# A trace is a list of JSON op records, one per line on disk:
+#
+#   {"op": "admit", "streams": [<spec>, ...]}
+#   {"op": "release", "refs": [<handle>, ...]}
+#   {"op": "fail_link", "link": [u, v]}
+#   {"op": "restore_link", "link": [u, v]}
+#
+# Admitted streams are named by *handles*: every spec across the trace's
+# admit ops gets the next integer handle in admit order, whether or not
+# the broker later accepts it. Releases reference handles, never raw
+# server ids, so a trace is broker-independent — the runner maps handles
+# to the ids a given broker actually assigned and silently skips handles
+# that were rejected, already released, or evicted by a link failure.
+# Generation is a pure function of its arguments (the rng carries all
+# randomness), so one seed replays byte-identically forever.
+
+
+def generate_trace(
+    pattern: str,
+    rng: random.Random,
+    nodes: int,
+    *,
+    ops: int = 300,
+    target_live: int = 40,
+    priority_levels: int = 15,
+    links: Optional[Sequence[Tuple[int, int]]] = None,
+    link_rate: float = 0.0,
+) -> List[Dict[str, Any]]:
+    """Build a replayable op trace for :func:`run_trace`.
+
+    ``bursty`` alternates admit bursts with release waves — occupancy
+    saws around ``target_live``. ``diurnal`` tracks a sinusoidal
+    occupancy target over the trace, admitting on the rising edge and
+    releasing on the falling edge. With ``links`` given and
+    ``link_rate > 0`` both patterns interleave fail/restore events on
+    random links (at most three down at once, failed links are always
+    eventually restorable).
+    """
+    if pattern not in TRACE_PATTERNS:
+        raise ReproError(
+            f"unknown trace pattern {pattern!r}; "
+            f"expected one of {', '.join(TRACE_PATTERNS)}"
+        )
+    trace: List[Dict[str, Any]] = []
+    outstanding: List[int] = []  # handles the trace believes are live
+    next_handle = 0
+    up = sorted(tuple(sorted(l)) for l in links) if links else []
+    down: List[Tuple[int, int]] = []
+
+    def admit(count: int) -> None:
+        nonlocal next_handle
+        count = max(1, count)
+        specs = [churn_spec(rng, nodes, priority_levels=priority_levels)
+                 for _ in range(count)]
+        trace.append({"op": "admit", "streams": specs})
+        outstanding.extend(range(next_handle, next_handle + count))
+        next_handle += count
+
+    def release(count: int) -> None:
+        refs = []
+        for _ in range(min(count, len(outstanding))):
+            refs.append(outstanding.pop(rng.randrange(len(outstanding))))
+        if refs:
+            trace.append({"op": "release", "refs": sorted(refs)})
+
+    def maybe_link_event() -> None:
+        if not up and not down:
+            return
+        if rng.random() >= link_rate:
+            return
+        # Fail when nothing is down, restore when three links already
+        # are (or none are left to fail), otherwise flip a coin.
+        if not down:
+            fail = True
+        elif len(down) >= 3 or not up:
+            fail = False
+        else:
+            fail = rng.random() < 0.5
+        if fail and up:
+            link = up.pop(rng.randrange(len(up)))
+            down.append(link)
+            trace.append({"op": "fail_link", "link": list(link)})
+        elif down:
+            link = down.pop(rng.randrange(len(down)))
+            up.append(link)
+            up.sort()
+            trace.append({"op": "restore_link", "link": list(link)})
+
+    if pattern == "bursty":
+        while len(trace) < ops:
+            maybe_link_event()
+            if len(outstanding) < target_live:
+                for _ in range(rng.randint(2, 6)):  # admit burst
+                    if len(trace) >= ops:
+                        break
+                    admit(rng.randint(1, 4))
+            else:  # release wave sheds roughly half the live set
+                release(max(1, len(outstanding) // 2))
+    else:  # diurnal
+        for i in range(ops):
+            maybe_link_event()
+            if len(trace) >= ops:
+                break
+            wanted = int(round(
+                target_live * (0.5 + 0.5 * math.sin(
+                    2.0 * math.pi * i / max(1, ops)
+                ))
+            ))
+            if len(outstanding) <= wanted:
+                admit(rng.randint(1, 3))
+            else:
+                release(max(1, (len(outstanding) - wanted) // 2))
+    return trace[:ops]
+
+
+def save_trace(path: Union[str, Path], trace: List[Dict[str, Any]]) -> None:
+    """Write a trace as JSON lines (one op per line, stable key order)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for op in trace:
+            fh.write(json.dumps(op, separators=(",", ":")) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read a JSON-lines trace written by :func:`save_trace`."""
+    trace: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                op = json.loads(line)
+            except ValueError as exc:
+                raise ReproError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from None
+            if not isinstance(op, dict) or "op" not in op:
+                raise ReproError(
+                    f"{path}:{lineno}: trace ops are objects with an "
+                    f"'op' key"
+                )
+            trace.append(op)
+    return trace
+
+
+def run_trace(
+    client: BrokerClient,
+    trace: Sequence[Dict[str, Any]],
+) -> LoadSummary:
+    """Replay a trace through an open client, strictly in order.
+
+    Handles map to server ids as admits are acknowledged; releases name
+    handles and skip any that never admitted or that a link failure
+    already evicted (the broker's eviction ids are folded back into the
+    handle table), so a trace recorded against one broker replays
+    cleanly against another — or against the same broker after a crash.
+    """
+    summary = LoadSummary()
+    handle_ids: List[Optional[int]] = []  # handle -> live server id
+    id_handle: Dict[int, int] = {}
+    t0 = time.perf_counter()
+    for op in trace:
+        kind = op.get("op")
+        summary.ops += 1
+        if kind == "admit":
+            specs = list(op.get("streams", []))
+            base = len(handle_ids)
+            handle_ids.extend([None] * len(specs))
+            summary.admits_tried += 1
+            response = client.request("admit", streams=specs)
+            if response.get("ok") and response.get("admitted"):
+                summary.admits_accepted += 1
+                for offset, sid in enumerate(response.get("ids", [])):
+                    handle_ids[base + offset] = sid
+                    id_handle[sid] = base + offset
+            elif not response.get("ok"):
+                summary.errors += 1
+        elif kind == "release":
+            ids = []
+            for ref in op.get("refs", []):
+                if 0 <= ref < len(handle_ids) and \
+                        handle_ids[ref] is not None:
+                    ids.append(handle_ids[ref])
+                    handle_ids[ref] = None
+            if not ids:
+                continue
+            summary.releases += 1
+            response = client.request("release", ids=ids)
+            if not response.get("ok"):
+                summary.errors += 1
+        elif kind in ("fail_link", "restore_link"):
+            summary.link_ops += 1
+            response = client.request(kind, link=op["link"])
+            if not response.get("ok"):
+                summary.errors += 1
+                continue
+            for sid in (list(response.get("evicted", ()))
+                        + list(response.get("disconnected", ()))):
+                ref = id_handle.pop(sid, None)
+                if ref is not None:
+                    handle_ids[ref] = None
+        else:
+            raise ReproError(f"unknown trace op {kind!r}")
+    summary.seconds = time.perf_counter() - t0
+    summary.live_at_end = sum(1 for sid in handle_ids if sid is not None)
     stats = client.request("stats")
     if stats.get("ok"):
         summary.server_stats = {

@@ -76,6 +76,10 @@ class RecoveredState:
     next_id: Optional[int] = None
     #: Applied request ids persisted with the snapshot (rid -> outcome).
     applied_rids: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Failed physical links persisted with the snapshot, as sorted
+    #: ``[u, v]`` pairs. Applied *before* stream replay so the admitted
+    #: set re-admits under the same degraded routing it was vetted on.
+    failed_links: List[List[int]] = field(default_factory=list)
     #: Whether a torn (partial) final journal record was skipped.
     torn_tail: bool = False
 
@@ -126,6 +130,10 @@ class BrokerState:
                 out.applied_rids = {
                     str(rid): dict(v) for rid, v in applied.items()
                 }
+            out.failed_links = [
+                [int(u), int(v)]
+                for u, v in spec.get("failed_links", [])
+            ]
         if self.journal_path.exists():
             self._read_journal(out)
         return out
@@ -263,6 +271,7 @@ class BrokerState:
         next_id: Optional[int] = None,
         applied_rids: Optional[Dict[str, Dict[str, Any]]] = None,
         analyses: Optional[Dict[int, str]] = None,
+        failed_links: Optional[List] = None,
     ) -> Path:
         """Write a fresh snapshot atomically and truncate the journal.
 
@@ -270,6 +279,9 @@ class BrokerState:
         admitted under; it is embedded per stream entry so recovery
         re-vets every stream under the same analysis (the snapshot stays
         a valid problem file — ``stream_from_spec`` ignores the key).
+        ``failed_links`` is the broker's current failed-link set; it must
+        be restored *before* the streams replay, so it rides in the
+        snapshot rather than being reconstructed from journal history.
         """
         entries = streams_to_spec(streams)
         if analyses:
@@ -285,6 +297,10 @@ class BrokerState:
             payload["next_id"] = int(next_id)
         if applied_rids:
             payload["applied"] = dict(applied_rids)
+        if failed_links:
+            payload["failed_links"] = sorted(
+                [int(u), int(v)] for u, v in failed_links
+            )
         tmp = self.snapshot_path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(payload, indent=2) + "\n")
         os.replace(tmp, self.snapshot_path)

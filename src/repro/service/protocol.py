@@ -90,6 +90,9 @@ KNOWN_OPS = (
     "report",
     "snapshot",
     "stats",
+    "fail_link",
+    "restore_link",
+    "links",
     "shutdown",
 )
 

@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..core.streams import MessageStream, StreamSet
 from ..errors import SimulationError
 from ..topology.base import Channel, Topology
+from ..topology.degraded import normalize_link
 from ..topology.routing import RoutingAlgorithm
 from .arbiter import ChannelArbiter, PriorityPreemptiveArbiter
 from .engine import SimulationKernel
@@ -213,10 +214,14 @@ class WormholeSimulator(SimulationKernel):
         #: waiting out the router pipeline (hop_delay > 1 only).
         self._ready_heap: List[Tuple[int, int, VirtualChannel]] = []
         self._ready_seq = 0
-        #: stream_id -> per-position (channel id, downstream target)
-        #: pairs, computed once per stream, attached at injection.
+        #: stream_id -> (path, per-position (channel id, downstream
+        #: target) pairs), computed once per stream path, attached at
+        #: injection. The path key guards against mid-simulation routing
+        #: swaps: messages released before a swap keep their old path and
+        #: must not share hop info with post-swap releases.
         self._hopinfo: Dict[
-            int, Tuple[Tuple[int, object], ...]
+            int,
+            Tuple[Tuple[int, ...], Tuple[Tuple[int, object], ...]],
         ] = {}
         #: msg_id -> per-path-position VC chain (index 0 = injection VC).
         self._chains: Dict[int, List[Optional[VirtualChannel]]] = {}
@@ -228,6 +233,16 @@ class WormholeSimulator(SimulationKernel):
         self._kill_pending: Set[int] = set()
         #: Messages killed and re-queued (``preempt_kill`` mode).
         self.retransmissions = 0
+        #: Messages dropped because a physical link on their route was
+        #: failed (in flight at :meth:`fail_link` time, or released while
+        #: the link was down). Unlike ``preempt_kill`` victims they are
+        #: *not* retransmitted — the stream's route is gone until the
+        #: routing function is swapped (:meth:`set_routing`).
+        self.link_drops = 0
+        #: Failed physical links as normalised ``(min, max)`` node pairs.
+        self._failed_links: Set[Tuple[int, int]] = set()
+        #: Channel ids of both directions of every failed link.
+        self._dead_channels: Set[int] = set()
         #: Total committed flit transfers (includes absorptions).
         self.total_transfers = 0
         # Bind the cycle body once; the instance attribute shadows the
@@ -278,30 +293,50 @@ class WormholeSimulator(SimulationKernel):
         channel crossed and the downstream VC it feeds (``None`` for the
         absorbing hop; the whole port VC pool under ``vc_mode="li"``,
         whose choice is dynamic)."""
-        info = self._hopinfo.get(msg.stream_id)
-        if info is None:
-            path = msg.path
-            pairs: List[Tuple[int, object]] = []
-            for i in range(len(path) - 1):
-                u, v = path[i], path[i + 1]
-                if v == msg.dst:
-                    tgt: object = None
-                elif self.vc_mode == "li":
-                    tgt = self._routers[v].ports[u]
-                else:
-                    tgt = self._routers[v].vc(
-                        u,
-                        self._vc_index_for(msg.priority, msg.vc_class(i)),
-                    )
-                pairs.append((self._chan_id[(u, v)], tgt))
-            info = tuple(pairs)
-            self._hopinfo[msg.stream_id] = info
+        cached = self._hopinfo.get(msg.stream_id)
+        path = msg.path
+        if cached is not None and cached[0] == path:
+            return cached[1]
+        pairs: List[Tuple[int, object]] = []
+        for i in range(len(path) - 1):
+            u, v = path[i], path[i + 1]
+            if v == msg.dst:
+                tgt: object = None
+            elif self.vc_mode == "li":
+                tgt = self._routers[v].ports[u]
+            else:
+                tgt = self._routers[v].vc(
+                    u,
+                    self._vc_index_for(msg.priority, msg.vc_class(i)),
+                )
+            pairs.append((self._chan_id[(u, v)], tgt))
+        info = tuple(pairs)
+        self._hopinfo[msg.stream_id] = (path, info)
         return info
+
+    def _path_dead(self, path: Sequence[int]) -> bool:
+        """Does ``path`` cross any channel of a currently failed link?"""
+        chan_id = self._chan_id
+        dead = self._dead_channels
+        for i in range(len(path) - 1):
+            if chan_id[(path[i], path[i + 1])] in dead:
+                return True
+        return False
 
     def _inject(self, payloads: List[object]) -> None:
         fast = self.fastpath
         for msg in payloads:
             assert isinstance(msg, Message)
+            if self._dead_channels and self._path_dead(msg.path):
+                # Released while a link on its (pre-swap) route is down:
+                # the message is lost at the source, deterministically.
+                self.link_drops += 1
+                if self._obs is not None:
+                    self._obs.emit("i", "sim.link_drop", "sim", {
+                        "t": self.now, "msg": msg.msg_id,
+                        "stream": msg.stream_id, "at": "inject",
+                    })
+                continue
             vc = self._routers[msg.src].vc(
                 INJECTION_PORT, self._vc_index_for(msg.priority)
             )
@@ -738,23 +773,27 @@ class WormholeSimulator(SimulationKernel):
             self._kill_pending.clear()
         return moved
 
-    def _kill_message(self, msg_id: int) -> None:
-        """Kill an in-flight worm and re-queue it from its source.
-
-        All buffered flits are dropped, every VC the worm holds is freed,
-        and a fresh copy (same stream, same *original* release time, so the
-        measured delay includes the wasted attempt) joins the source's
-        injection queue. Partial deliveries are discarded by the receiver.
+    def _discard_message(self, msg_id: int) -> Optional[Message]:
+        """Drop an in-flight worm: free every VC it holds (or its slot in
+        an injection queue), wake parked waiters, and forget it. No
+        retransmission — callers decide what, if anything, happens next.
+        Returns the victim, or ``None`` if it already finished.
         """
         victim = self._messages.pop(msg_id, None)
         if victim is None:
-            return  # finished in this very cycle
-        if self._obs is not None:
-            self._obs.emit("i", "sim.kill", "sim", {
-                "t": self.now, "msg": msg_id, "stream": victim.stream_id,
-            })
+            return None
         fast = self.fastpath
         chain = self._chains.pop(msg_id)
+        if chain[0] is None:
+            # Never promoted: still queued behind the injection VC's
+            # current owner. Remove it from that queue.
+            inj = self._routers[victim.src].vc(
+                INJECTION_PORT, self._vc_index_for(victim.priority)
+            )
+            try:
+                inj.queue.remove(victim)
+            except ValueError:  # pragma: no cover - defensive
+                pass
         for vc in chain:
             if vc is None or vc.owner is not victim:
                 continue
@@ -785,6 +824,24 @@ class WormholeSimulator(SimulationKernel):
                     else:
                         self._active.add(vc)
         self._in_flight.discard(msg_id)
+        return victim
+
+    def _kill_message(self, msg_id: int) -> None:
+        """Kill an in-flight worm and re-queue it from its source.
+
+        All buffered flits are dropped, every VC the worm holds is freed,
+        and a fresh copy (same stream, same *original* release time, so the
+        measured delay includes the wasted attempt) joins the source's
+        injection queue. Partial deliveries are discarded by the receiver.
+        """
+        victim = self._discard_message(msg_id)
+        if victim is None:
+            return  # finished in this very cycle
+        if self._obs is not None:
+            self._obs.emit("i", "sim.kill", "sim", {
+                "t": self.now, "msg": msg_id, "stream": victim.stream_id,
+            })
+        fast = self.fastpath
         self.retransmissions += 1
 
         clone = Message(
@@ -820,6 +877,92 @@ class WormholeSimulator(SimulationKernel):
         self._messages[clone.msg_id] = clone
         if not fast and inj.count > 0:
             self._active.add(inj)
+
+    # ------------------------------------------------------------------ #
+    # Link faults
+    # ------------------------------------------------------------------ #
+
+    @property
+    def failed_links(self) -> frozenset:
+        """Currently failed links as normalised ``(min, max)`` pairs."""
+        return frozenset(self._failed_links)
+
+    def fail_link(self, u: int, v: int) -> List[int]:
+        """Fail the physical link between ``u`` and ``v`` (both directions).
+
+        Every in-flight worm whose route crosses the link is dropped
+        deterministically (ascending message id): its buffered flits are
+        discarded, the VCs it holds are freed — waking any worms that were
+        blocked behind it — and partial deliveries are abandoned by the
+        receiver. Messages released while the link is down whose route
+        crosses it are lost at the source (see :meth:`_inject`). Neither
+        is retransmitted; ``link_drops`` counts both. Returns the dropped
+        message ids.
+        """
+        link = normalize_link(u, v)
+        a, b = link
+        if (a, b) not in self._chan_id or (b, a) not in self._chan_id:
+            raise SimulationError(
+                f"no physical link between nodes {a} and {b}"
+            )
+        if link in self._failed_links:
+            raise SimulationError(f"link {link} is already failed")
+        self._failed_links.add(link)
+        self._dead_channels.add(self._chan_id[(a, b)])
+        self._dead_channels.add(self._chan_id[(b, a)])
+        victims = [
+            msg_id for msg_id in sorted(self._in_flight)
+            if self._path_dead(self._messages[msg_id].path)
+        ]
+        for msg_id in victims:
+            self._discard_message(msg_id)
+            self.link_drops += 1
+        if self._obs is not None:
+            self._obs.emit("i", "sim.link_fail", "sim", {
+                "t": self.now, "link": [a, b], "dropped": victims,
+            })
+        return victims
+
+    def restore_link(self, u: int, v: int) -> None:
+        """Restore a previously failed link.
+
+        Worms dropped while it was down stay dropped; traffic released
+        after the restore crosses the link normally again.
+        """
+        link = normalize_link(u, v)
+        if link not in self._failed_links:
+            raise SimulationError(f"link {link} is not failed")
+        self._failed_links.discard(link)
+        a, b = link
+        self._dead_channels.discard(self._chan_id[(a, b)])
+        self._dead_channels.discard(self._chan_id[(b, a)])
+        if self._obs is not None:
+            self._obs.emit("i", "sim.link_restore", "sim", {
+                "t": self.now, "link": [a, b],
+            })
+
+    def set_routing(self, routing: RoutingAlgorithm) -> None:
+        """Swap the routing function mid-simulation.
+
+        Worms already released keep the path computed at their release
+        (a worm in flight follows the route its header reserved); only
+        future releases route under ``routing``. The replacement must
+        need exactly the VC classes the simulator was provisioned with at
+        construction — to model reroute-around-failure, construct the
+        simulator with a :class:`~repro.topology.FaultAwareRouting` over
+        an empty failed set so the detour class exists from the start.
+        """
+        needed = getattr(routing, "num_vc_classes", 1)
+        if needed != self.num_vc_classes:
+            raise SimulationError(
+                f"replacement routing needs {needed} VC class(es); the "
+                f"simulator was provisioned for {self.num_vc_classes}"
+            )
+        self.routing = routing
+        # Per-stream hop caches key on the path they were built for, so
+        # stale entries are already harmless; dropping them simply stops
+        # dead paths from lingering.
+        self._hopinfo.clear()
 
     # ------------------------------------------------------------------ #
     # Convenience driver

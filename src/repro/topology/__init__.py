@@ -7,13 +7,17 @@ the network reduces to those two questions.
 """
 
 from .base import Channel, Topology
+from .degraded import DegradedTopology, normalize_link
 from .hypercube import Hypercube
 from .mesh import Mesh, Mesh2D
 from .routing import (
     DimensionOrderRouting,
     ECubeRouting,
+    FaultAwareRouting,
     RoutingAlgorithm,
+    TableRouting,
     TorusDimensionOrderRouting,
+    UpDownRouting,
     XYRouting,
     channel_dependency_graph,
     is_deadlock_free,
@@ -31,6 +35,8 @@ __all__ = [
     "clear_shared_route_tables",
     "Channel",
     "Topology",
+    "DegradedTopology",
+    "normalize_link",
     "Mesh",
     "Mesh2D",
     "Torus",
@@ -40,6 +46,9 @@ __all__ = [
     "XYRouting",
     "ECubeRouting",
     "TorusDimensionOrderRouting",
+    "UpDownRouting",
+    "TableRouting",
+    "FaultAwareRouting",
     "channel_dependency_graph",
     "is_deadlock_free",
 ]

@@ -78,11 +78,15 @@ _SHARED: Dict[Tuple, RouteTable] = {}
 def shared_route_table(routing: RoutingAlgorithm) -> RouteTable:
     """Return the process-wide route table for the routing function.
 
-    Keyed on ``(routing class name, topology signature)``: two engines
-    over structurally identical networks with the same routing class get
-    the *same* table object, so one engine's lookups warm the other's.
+    Keyed on ``(routing signature, topology signature)``: two engines
+    over structurally identical networks with equivalent routing
+    functions get the *same* table object, so one engine's lookups warm
+    the other's. Parameterised routings (loaded tables, failed-link
+    sets) fold their parameters into
+    :meth:`~repro.topology.routing.RoutingAlgorithm.signature`, so two
+    brokers degraded by *different* link failures never share a table.
     """
-    key = (type(routing).__name__, routing.topology.signature())
+    key = (routing.signature(), routing.topology.signature())
     table = _SHARED.get(key)
     if table is None:
         table = RouteTable(routing)

@@ -1,0 +1,139 @@
+"""Chaos composition: link kills interleaved with crash/torn-write chaos.
+
+The link layer rides the same seeded campaign machinery as the other
+three fault layers, so a single schedule can kill a topology link, tear
+the journal write that records it, crash the broker mid-reroute, and
+still demand the two global invariants: recovery is bit-identical to the
+fault-free oracle (which includes the failed-link set) and nothing
+acknowledged is ever lost.
+"""
+
+import random
+
+import pytest
+
+from repro.faults.campaign import (
+    ChaosConfig,
+    LinkState,
+    ScheduledOp,
+    build_request,
+    generate_schedule,
+    run_chaos_campaign,
+)
+from repro.service.loadgen import churn_spec
+
+#: Small but hot: every layer (including link) fires at this size.
+LINKY = ChaosConfig(
+    seed=11,
+    ops=60,
+    width=5,
+    height=5,
+    target_live=8,
+    persistence_rate=0.5,
+    protocol_rate=0.7,
+    engine_rate=0.3,
+    restart_rate=0.12,
+    socket_fraction=0.3,
+    link_rate=0.15,
+)
+
+
+class TestLinkChaosComposition:
+    def test_four_layer_campaign_holds_invariants(self, tmp_path):
+        report = run_chaos_campaign(LINKY, state_dir=tmp_path / "state")
+        assert report.ok, report.summary()
+        assert report.bit_identical
+        assert report.acked_then_lost == []
+        assert report.phantom_ids == []
+        assert report.outcome_mismatches == 0
+        link_faults = report.faults_by_layer["link"]
+        assert link_faults.get("link_fail", 0) > 0
+        assert report.layers_covered == 4
+        # The oracle executed the same link events, so bit-identity of
+        # the fingerprints *is* the failed-link set surviving recovery.
+        assert report.recovered_sha == report.oracle_sha
+
+    def test_campaign_is_reproducible(self):
+        small = ChaosConfig(seed=6, ops=30, width=4, height=4,
+                            socket_fraction=0.0, link_rate=0.2)
+        first = run_chaos_campaign(small).to_dict()
+        second = run_chaos_campaign(small).to_dict()
+        first.pop("seconds"), second.pop("seconds")
+        assert first == second
+        assert first["faults"]["by_layer"]["link"]
+
+    def test_zero_link_rate_schedule_is_unchanged(self):
+        """link_rate=0 consumes no extra randomness: schedules match the
+        pre-link formula draw for draw."""
+        cfg = ChaosConfig(seed=9, ops=15)
+        schedule = generate_schedule(cfg)
+        rng = random.Random(cfg.seed)
+        for i, entry in enumerate(schedule):
+            assert not entry.link_op
+            assert entry.bias == rng.random()
+            assert entry.pick == rng.random()
+            assert entry.spec == churn_spec(
+                rng, cfg.nodes, priority_levels=cfg.priority_levels
+            )
+            assert entry.rid == f"c{cfg.seed}-{i}"
+
+    def test_link_slots_present_when_rate_is_high(self):
+        cfg = ChaosConfig(seed=1, ops=40, link_rate=0.5)
+        schedule = generate_schedule(cfg)
+        assert any(entry.link_op for entry in schedule)
+        assert any(not entry.link_op for entry in schedule)
+
+
+class TestLinkSlotResolution:
+    """build_request resolves link slots against the live link state."""
+
+    @staticmethod
+    def _slot(bias, pick):
+        return ScheduledOp(index=0, rid="r", bias=bias, pick=pick,
+                           spec={}, link_op=True)
+
+    def test_fails_first_then_restores_at_three_down(self):
+        links = LinkState([(0, 1), (1, 2), (2, 3), (3, 4)])
+        live = []
+        seen = []
+        for _ in range(3):
+            # bias < 0.5 is the "fail" side of the coin.
+            request = build_request(
+                self._slot(0.2, 0.0), live, target_live=5, links=links
+            )
+            seen.append(request["op"])
+            links.apply(request["op"], tuple(request["link"]))
+        assert seen == ["fail_link", "fail_link", "fail_link"]
+        # Three down -> the next slot must restore regardless of bias.
+        request = build_request(
+            self._slot(0.2, 0.0), live, target_live=5, links=links
+        )
+        assert request["op"] == "restore_link"
+        assert tuple(request["link"]) in {(0, 1), (1, 2), (2, 3), (3, 4)}
+
+    def test_without_link_state_slot_degrades_to_churn(self):
+        spec = {"src": 0, "dst": 1, "priority": 1, "period": 100,
+                "length": 2, "deadline": 100}
+        entry = ScheduledOp(index=0, rid="r", bias=0.1, pick=0.0,
+                            spec=spec, link_op=True)
+        request = build_request(entry, [], target_live=5, links=None)
+        assert request["op"] == "admit"
+
+    def test_resolution_is_deterministic(self):
+        pool = [(0, 1), (1, 2), (2, 3)]
+        for bias, pick in [(0.2, 0.7), (0.9, 0.1), (0.49, 0.99)]:
+            a_links, b_links = LinkState(pool), LinkState(pool)
+            a = build_request(self._slot(bias, pick), [], target_live=5,
+                              links=a_links)
+            b = build_request(self._slot(bias, pick), [], target_live=5,
+                              links=b_links)
+            assert a == b
+
+
+@pytest.mark.chaos
+class TestFullSizeLinkCampaign:
+    def test_default_size_with_links(self, tmp_path):
+        cfg = ChaosConfig(seed=2, link_rate=0.08)
+        report = run_chaos_campaign(cfg, state_dir=tmp_path / "state")
+        assert report.ok, report.summary()
+        assert report.layers_covered == 4

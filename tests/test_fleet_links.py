@@ -1,0 +1,196 @@
+"""Fleet-wide link faults: broadcast, merge, migration, recovery.
+
+A link failure is a *global* event — every shard of a tenant must swap to
+the same fault-aware routing or verdicts diverge between shards. These
+tests pin the fleet semantics: merged deltas equal one engine holding
+the whole tenant, components that the new routing fuses migrate onto one
+shard, rids deduplicate across the broadcast, and the failed-link set is
+reconciled across shard journals at recovery (including shards a crash
+left behind).
+"""
+
+import pytest
+
+from repro.fleet.shards import TenantFleet
+from repro.service.host import EngineHost
+
+TOPO = {"type": "mesh", "width": 6, "height": 6}
+
+
+def spec(src, dst, *, priority=5, period=300, length=4, deadline=300,
+         **extra):
+    out = {"src": src, "dst": dst, "priority": priority, "period": period,
+           "length": length, "deadline": deadline}
+    out.update(extra)
+    return out
+
+
+def admit(fleet, *streams, **kw):
+    return fleet.handle_request(
+        {"op": "admit", "streams": list(streams), **kw}
+    )
+
+
+def reference(*requests):
+    """One engine executing the same logical op sequence."""
+    host = EngineHost(TOPO)
+    for request in requests:
+        response = host.handle_request(request)
+        assert response["ok"], response
+    return host
+
+
+class TestFleetLinkOps:
+    def test_fail_link_matches_single_engine(self):
+        tf = TenantFleet("t", TOPO, shards=2)
+        assert admit(tf, spec(0, 2))["ok"]
+        assert admit(tf, spec(30, 32))["ok"]
+        response = tf.handle_request({"op": "fail_link", "link": [1, 2]})
+        assert response["ok"]
+        assert response["failed_links"] == [[1, 2]]
+        assert tf.links_spec() == [[1, 2]]
+        # Every live shard swapped to the same fault-aware routing.
+        for host in tf.hosts:
+            assert host.links_spec() == [[1, 2]]
+        ref = reference(
+            {"op": "admit", "streams": [spec(0, 2)]},
+            {"op": "admit", "streams": [spec(30, 32)]},
+            {"op": "fail_link", "link": [1, 2]},
+        )
+        assert tf.fingerprint() == ref.fingerprint()
+        tf.close()
+
+    def test_disconnection_evicts_across_shards(self):
+        tf = TenantFleet("t", TOPO, shards=2)
+        sid = admit(tf, spec(0, 2))["ids"][0]
+        assert admit(tf, spec(30, 32))["ok"]
+        assert tf.handle_request(
+            {"op": "fail_link", "link": [0, 1]}
+        )["ok"]
+        response = tf.handle_request({"op": "fail_link", "link": [0, 6]})
+        assert response["ok"]
+        assert sid in response["evicted"]
+        assert sid in response["disconnected"]
+        assert sid not in tf.owner
+        ref = reference(
+            {"op": "admit", "streams": [spec(0, 2)]},
+            {"op": "admit", "streams": [spec(30, 32)]},
+            {"op": "fail_link", "link": [0, 1]},
+            {"op": "fail_link", "link": [0, 6]},
+        )
+        assert tf.fingerprint() == ref.fingerprint()
+        tf.close()
+
+    def test_restore_round_trip(self):
+        tf = TenantFleet("t", TOPO, shards=2)
+        assert admit(tf, spec(0, 5))["ok"]
+        assert tf.handle_request(
+            {"op": "fail_link", "link": [2, 3]}
+        )["ok"]
+        restore = tf.handle_request(
+            {"op": "restore_link", "link": [3, 2]}
+        )
+        assert restore["ok"] and restore["failed_links"] == []
+        assert type(tf.routing).__name__ != "FaultAwareRouting"
+        ref = reference(
+            {"op": "admit", "streams": [spec(0, 5)]},
+            {"op": "fail_link", "link": [2, 3]},
+            {"op": "restore_link", "link": [2, 3]},
+        )
+        assert tf.fingerprint() == ref.fingerprint()
+        tf.close()
+
+    def test_rid_dedupes_across_fleet(self):
+        tf = TenantFleet("t", TOPO, shards=2)
+        assert admit(tf, spec(0, 2))["ok"]
+        first = tf.handle_request(
+            {"op": "fail_link", "link": [1, 2], "rid": "L1"}
+        )
+        assert first["ok"] and not first.get("duplicate")
+        again = tf.handle_request(
+            {"op": "fail_link", "link": [1, 2], "rid": "L1"}
+        )
+        assert again["ok"] and again.get("duplicate")
+        assert again["evicted"] == first["evicted"]
+        assert tf.links_spec() == [[1, 2]]
+        tf.close()
+
+    def test_validation_mirrors_host(self):
+        tf = TenantFleet("t", TOPO, shards=2)
+        bad = tf.handle_request({"op": "fail_link", "link": [0, 35]})
+        assert not bad["ok"]
+        assert tf.handle_request(
+            {"op": "fail_link", "link": [0, 1]}
+        )["ok"]
+        dup = tf.handle_request({"op": "fail_link", "link": [1, 0]})
+        assert not dup["ok"]
+        missing = tf.handle_request(
+            {"op": "restore_link", "link": [4, 5]}
+        )
+        assert not missing["ok"]
+        tf.close()
+
+    def test_links_op_reports_state(self):
+        tf = TenantFleet("t", TOPO, shards=2)
+        links = tf.handle_request({"op": "links"})
+        assert links["ok"] and links["failed_links"] == []
+        assert tf.handle_request(
+            {"op": "fail_link", "link": [7, 8]}
+        )["ok"]
+        links = tf.handle_request({"op": "links"})
+        assert links["failed_links"] == [[7, 8]]
+        assert links["routing"] == "FaultAwareRouting"
+        tf.close()
+
+
+class TestFleetLinkRecovery:
+    def test_failed_links_survive_fleet_recovery(self, tmp_path):
+        tf = TenantFleet("t", TOPO, shards=2, state_dir=tmp_path)
+        assert admit(tf, spec(0, 2))["ok"]
+        assert admit(tf, spec(30, 32))["ok"]
+        assert tf.handle_request(
+            {"op": "fail_link", "link": [1, 2]}
+        )["ok"]
+        sha, fleet_spec = tf.fingerprint()
+        assert fleet_spec["failed_links"] == [[1, 2]]
+        tf.close()
+
+        recovered = TenantFleet("t", TOPO, shards=2, state_dir=tmp_path)
+        assert recovered.links_spec() == [[1, 2]]
+        assert recovered.fingerprint()[0] == sha
+        recovered.close()
+
+    def test_lagging_shard_is_reconciled(self, tmp_path):
+        """A crash mid-broadcast leaves the link journaled on only some
+        shards; recovery re-applies it as the union across journals."""
+        tf = TenantFleet("t", TOPO, shards=2, state_dir=tmp_path)
+        assert admit(tf, spec(0, 2))["ok"]
+        assert admit(tf, spec(30, 32))["ok"]
+        # Forge the torn broadcast: one shard journals the failure, the
+        # fleet (and the other shard) never hears about it.
+        assert tf.hosts[0].handle_request(
+            {"op": "fail_link", "link": [13, 14]}
+        )["ok"]
+        tf.close()
+
+        recovered = TenantFleet("t", TOPO, shards=2, state_dir=tmp_path)
+        assert recovered.links_spec() == [[13, 14]]
+        for host in recovered.hosts:
+            assert host.links_spec() == [[13, 14]]
+        ref = reference(
+            {"op": "admit", "streams": [spec(0, 2)]},
+            {"op": "admit", "streams": [spec(30, 32)]},
+            {"op": "fail_link", "link": [13, 14]},
+        )
+        assert recovered.fingerprint() == ref.fingerprint()
+        recovered.close()
+
+    def test_link_op_on_dead_shard_fails_clearly(self):
+        tf = TenantFleet("t", TOPO, shards=2)
+        assert admit(tf, spec(0, 2))["ok"]
+        tf.kill_host(0)
+        response = tf.handle_request({"op": "fail_link", "link": [1, 2]})
+        assert not response["ok"] and "down" in response["error"]
+        # Nothing half-applied: the live shard still runs base routing.
+        assert tf.links_spec() == []
+        tf.close()

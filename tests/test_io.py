@@ -20,14 +20,18 @@ from repro.topology import (
     Mesh2D,
     Torus,
     TorusDimensionOrderRouting,
+    UpDownRouting,
     XYRouting,
 )
 
 
 class TestTopologyFromSpec:
     def test_mesh(self):
+        # "routing": "default" pins the canonical algorithm even under a
+        # suite-wide REPRO_ROUTING override.
         topo, routing = topology_from_spec(
-            {"type": "mesh", "width": 6, "height": 4}
+            {"type": "mesh", "width": 6, "height": 4,
+             "routing": "default"}
         )
         assert isinstance(topo, Mesh2D)
         assert topo.width == 6 and topo.height == 4
@@ -39,7 +43,7 @@ class TestTopologyFromSpec:
 
     def test_torus(self):
         topo, routing = topology_from_spec(
-            {"type": "torus", "dims": [4, 4]}
+            {"type": "torus", "dims": [4, 4], "routing": "default"}
         )
         assert isinstance(topo, Torus)
         assert isinstance(routing, TorusDimensionOrderRouting)
@@ -50,11 +54,35 @@ class TestTopologyFromSpec:
 
     def test_hypercube(self):
         topo, routing = topology_from_spec(
-            {"type": "hypercube", "dimension": 5}
+            {"type": "hypercube", "dimension": 5, "routing": "default"}
         )
         assert isinstance(topo, Hypercube)
         assert topo.num_nodes == 32
         assert isinstance(routing, ECubeRouting)
+
+    def test_updown_routing_key(self):
+        _, routing = topology_from_spec(
+            {"type": "mesh", "width": 4, "routing": "updown"}
+        )
+        assert isinstance(routing, UpDownRouting)
+
+    def test_env_override_when_spec_silent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ROUTING", "updown")
+        _, routing = topology_from_spec({"type": "mesh", "width": 4})
+        assert isinstance(routing, UpDownRouting)
+
+    def test_spec_pin_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ROUTING", "updown")
+        _, routing = topology_from_spec(
+            {"type": "mesh", "width": 4, "routing": "default"}
+        )
+        assert isinstance(routing, XYRouting)
+
+    def test_unknown_routing(self):
+        with pytest.raises(ReproError):
+            topology_from_spec(
+                {"type": "mesh", "width": 4, "routing": "adaptive"}
+            )
 
     def test_unknown_type(self):
         with pytest.raises(ReproError):
@@ -131,7 +159,8 @@ class TestProblemRoundTrip:
                           latency=9),
         ])
         path = tmp_path / "torus.json"
-        save_problem(path, {"type": "torus", "dims": [5, 4]}, streams)
+        save_problem(path, {"type": "torus", "dims": [5, 4],
+                            "routing": "default"}, streams)
         topo, routing, loaded = load_problem(path)
         assert isinstance(topo, Torus)
         assert isinstance(routing, TorusDimensionOrderRouting)
@@ -148,7 +177,8 @@ class TestProblemRoundTrip:
                           deadline=90, latency=8),
         ])
         path = tmp_path / "cube_rt.json"
-        save_problem(path, {"type": "hypercube", "dimension": 4}, streams)
+        save_problem(path, {"type": "hypercube", "dimension": 4,
+                            "routing": "default"}, streams)
         topo, routing, loaded = load_problem(path)
         assert isinstance(topo, Hypercube)
         assert isinstance(routing, ECubeRouting)

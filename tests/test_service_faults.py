@@ -43,9 +43,9 @@ def _armed_server(tmp_path, kind, **payload):
 
 
 class TestFaultPlane:
-    def test_taxonomy_covers_three_layers(self):
+    def test_taxonomy_covers_four_layers(self):
         assert set(LAYER_OF.values()) == {
-            "persistence", "protocol", "engine",
+            "persistence", "protocol", "engine", "link",
         }
 
     def test_unknown_kind_rejected(self):
